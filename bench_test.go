@@ -1,0 +1,349 @@
+// Benchmark harness: one bench per experiment in EXPERIMENTS.md (E1–E8),
+// plus micro-benchmarks of the hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The E-benchmarks report domain metrics (tx/s, events/op) alongside the
+// standard ns/op, so the EXPERIMENTS.md tables can be regenerated from
+// their output; cmd/txsim and cmd/txverify print the same data as tables.
+package nestedtx_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nestedtx"
+
+	"nestedtx/internal/adt"
+	"nestedtx/internal/checker"
+	"nestedtx/internal/core"
+	"nestedtx/internal/event"
+	"nestedtx/internal/object"
+	"nestedtx/internal/sim"
+	"nestedtx/internal/system"
+	"nestedtx/internal/tree"
+)
+
+// genCfg is the standard random-system shape used by the formal-model
+// benchmarks.
+var genCfg = system.GenConfig{
+	Objects: 3, TopLevel: 3, MaxDepth: 2, MaxFanout: 3,
+	ReadFraction: 0.5, SubProb: 0.5, SeqProb: 0.5,
+}
+
+// BenchmarkE1SerialCorrectnessCheck measures the full E1 pipeline: drive a
+// random R/W Locking system to a concurrent schedule and machine-check
+// Theorem 34 at every non-orphan transaction.
+func BenchmarkE1SerialCorrectnessCheck(b *testing.B) {
+	var events int
+	for i := 0; i < b.N; i++ {
+		seed := int64(i)
+		rng := rand.New(rand.NewSource(seed))
+		sys, err := system.Generate(rng, genCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched, err := sys.RunConcurrent(system.DriverConfig{Seed: seed, AbortProb: 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := checker.CheckAll(sched, sys.SystemType()); err != nil {
+			b.Fatal(err)
+		}
+		events += len(sched)
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkE2ExclusiveDegeneration is E1 with every access treated as a
+// write: the degenerated (exclusive-locking) system must verify equally.
+func BenchmarkE2ExclusiveDegeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		seed := int64(i)
+		rng := rand.New(rand.NewSource(seed))
+		sys, err := system.Generate(rng, genCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched, err := sys.RunConcurrent(system.DriverConfig{Seed: seed, AbortProb: 0.1, Mode: core.Exclusive})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := checker.CheckAll(sched, sys.SystemType()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchWorkload runs one sim workload inside a benchmark iteration loop
+// and reports committed-transactions/sec.
+func benchWorkload(b *testing.B, w sim.Workload) {
+	b.Helper()
+	var committed, seconds float64
+	for i := 0; i < b.N; i++ {
+		w.Seed = int64(i + 1)
+		res, err := sim.Run(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		committed += float64(res.Committed)
+		seconds += res.Duration.Seconds()
+	}
+	if seconds > 0 {
+		b.ReportMetric(committed/seconds, "tx/s")
+	}
+}
+
+// BenchmarkE3ReadFractionSweep: R/W locking vs exclusive vs serial as the
+// read fraction rises (the paper's central qualitative claim).
+func BenchmarkE3ReadFractionSweep(b *testing.B) {
+	for _, frac := range []float64{0, 0.5, 0.9} {
+		base := sim.Workload{
+			Objects: 4, Transactions: 48, Concurrency: 8,
+			Depth: 0, OpsPerLeaf: 4, WriterOps: 1,
+			ReadTxFraction: frac, HotspotFraction: 0.5, ThinkNs: 200000,
+		}
+		if frac == 0 {
+			base.ReadTxFraction = -1
+			base.OpsPerLeaf = 1
+		}
+		b.Run(fmt.Sprintf("rw/read=%.0f%%", frac*100), func(b *testing.B) {
+			benchWorkload(b, base)
+		})
+		excl := base
+		excl.Exclusive = true
+		b.Run(fmt.Sprintf("exclusive/read=%.0f%%", frac*100), func(b *testing.B) {
+			benchWorkload(b, excl)
+		})
+		serial := base
+		serial.Sequential = true
+		serial.Concurrency = 1
+		b.Run(fmt.Sprintf("serial/read=%.0f%%", frac*100), func(b *testing.B) {
+			benchWorkload(b, serial)
+		})
+	}
+}
+
+// BenchmarkE4NestingDepth: throughput as nesting deepens at fixed leaf
+// work.
+func BenchmarkE4NestingDepth(b *testing.B) {
+	for _, depth := range []int{0, 1, 2, 3} {
+		w := sim.Workload{
+			Objects: 16, Transactions: 32, Concurrency: 8,
+			Depth: depth, Fanout: 2, OpsPerLeaf: 2, ReadFraction: 1,
+			ThinkNs: 200000,
+		}
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			benchWorkload(b, w)
+		})
+	}
+}
+
+// BenchmarkE5AbortRate: recovery under rising voluntary-abort rates.
+func BenchmarkE5AbortRate(b *testing.B) {
+	for _, p := range []float64{0, 0.2, 0.5} {
+		w := sim.Workload{
+			Objects: 16, Transactions: 32, Concurrency: 8,
+			Depth: 2, Fanout: 2, OpsPerLeaf: 2,
+			ReadTxFraction: 0.5, WriterOps: 1, ThinkNs: 50000,
+			AbortProb: p,
+		}
+		b.Run(fmt.Sprintf("abort=%.0f%%", p*100), func(b *testing.B) {
+			benchWorkload(b, w)
+		})
+	}
+}
+
+// BenchmarkE6LockChainInvariant: high-contention stress with Lemma 21
+// checked each iteration.
+func BenchmarkE6LockChainInvariant(b *testing.B) {
+	w := sim.Workload{
+		Objects: 1, Transactions: 24, Concurrency: 8,
+		Depth: 1, Fanout: 2, OpsPerLeaf: 2, ReadFraction: 0.5,
+		HotspotFraction: 1,
+	}
+	for i := 0; i < b.N; i++ {
+		w.Seed = int64(i + 1)
+		res, err := sim.Run(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Manager.CheckInvariants(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7InheritanceOverhead: the same single access wrapped in
+// deeper and deeper committing chains; the delta is the cost of lock
+// inheritance per level.
+func BenchmarkE7InheritanceOverhead(b *testing.B) {
+	for _, depth := range []int{0, 2, 4, 8} {
+		b.Run(fmt.Sprintf("chain=%d", depth), func(b *testing.B) {
+			m := nestedtx.NewManager()
+			m.MustRegister("x", nestedtx.Counter{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var body func(tx *nestedtx.Tx) error
+				remaining := depth
+				body = func(tx *nestedtx.Tx) error {
+					if remaining == 0 {
+						_, err := tx.Do("x", nestedtx.CtrAdd{Delta: 1})
+						return err
+					}
+					remaining--
+					return tx.Sub(body)
+				}
+				remaining = depth
+				if err := m.Run(body); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8Equieffectiveness: the probe-based equieffectiveness test of
+// §4.1 on register schedules (the semantic-condition harness).
+func BenchmarkE8Equieffectiveness(b *testing.B) {
+	st := event.NewSystemType()
+	st.DefineObject("X", adt.NewRegister(int64(0)))
+	parent := tree.TID("T0.0")
+	var alpha event.Schedule
+	cur := int64(0)
+	for i := 0; i < 16; i++ {
+		id := parent.Child(i)
+		if i%2 == 0 {
+			st.MustDefineAccess(id, "X", adt.RegWrite{V: int64(i)})
+			cur = int64(i)
+		} else {
+			st.MustDefineAccess(id, "X", adt.RegRead{})
+		}
+		alpha = append(alpha,
+			event.Event{Kind: event.Create, T: id},
+			event.Event{Kind: event.RequestCommit, T: id, Value: cur})
+	}
+	beta := alpha.Filter(func(e event.Event) bool { return st.IsWriteAccess(e.T) })
+	probe := tree.TID("T0.0").Child(99)
+	st.MustDefineAccess(probe, "X", adt.RegRead{})
+	probes := []event.Schedule{{
+		{Kind: event.Create, T: probe},
+		{Kind: event.RequestCommit, T: probe, Value: cur},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !object.Equieffective(st, "X", alpha, beta, probes) {
+			b.Fatal("write-equal schedules must be equieffective")
+		}
+	}
+}
+
+// --- Micro-benchmarks of the runtime hot paths -------------------------
+
+func BenchmarkAcquireUncontendedWrite(b *testing.B) {
+	m := nestedtx.NewManager()
+	m.MustRegister("x", nestedtx.Counter{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Run(func(tx *nestedtx.Tx) error {
+			_, err := tx.Do("x", nestedtx.CtrAdd{Delta: 1})
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAcquireSharedReads(b *testing.B) {
+	m := nestedtx.NewManager()
+	m.MustRegister("x", nestedtx.Counter{})
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := m.Run(func(tx *nestedtx.Tx) error {
+				_, err := tx.Do("x", nestedtx.CtrGet{})
+				return err
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkRecordingOverhead(b *testing.B) {
+	m := nestedtx.NewManager(nestedtx.WithRecording())
+	m.MustRegister("x", nestedtx.Counter{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Run(func(tx *nestedtx.Tx) error {
+			_, err := tx.Do("x", nestedtx.CtrAdd{Delta: 1})
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVisibleComputation(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sys, err := system.Generate(rng, genCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := sys.RunConcurrent(system.DriverConfig{Seed: 1, AbortProb: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sched.Visible(tree.Root)
+	}
+}
+
+func BenchmarkCheckerWitness(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	sys, err := system.Generate(rng, genCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := sys.RunConcurrent(system.DriverConfig{Seed: 2, AbortProb: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checker.Check(sched, sys.SystemType(), tree.Root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9EngineComparison: Moss R/W locking vs Reed-style MVTO on
+// identical flat workloads (the paper's cited alternative as baseline).
+func BenchmarkE9EngineComparison(b *testing.B) {
+	for _, frac := range []float64{0.25, 0.9} {
+		w := sim.Workload{
+			Objects: 8, Transactions: 48, Concurrency: 8,
+			Depth: 0, OpsPerLeaf: 4, WriterOps: 1,
+			ReadTxFraction: frac, HotspotFraction: 0.5, ThinkNs: 200000,
+		}
+		b.Run(fmt.Sprintf("locking/read=%.0f%%", frac*100), func(b *testing.B) {
+			benchWorkload(b, w)
+		})
+		b.Run(fmt.Sprintf("mvto/read=%.0f%%", frac*100), func(b *testing.B) {
+			var committed, seconds float64
+			for i := 0; i < b.N; i++ {
+				w.Seed = int64(i + 1)
+				res, err := sim.RunMVTO(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				committed += float64(res.Committed)
+				seconds += res.Duration.Seconds()
+			}
+			if seconds > 0 {
+				b.ReportMetric(committed/seconds, "tx/s")
+			}
+		})
+	}
+}

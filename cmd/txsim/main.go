@@ -1,0 +1,61 @@
+// Command txsim runs the quantitative experiments (E3–E7) of
+// EXPERIMENTS.md against the nestedtx runtime and prints their tables.
+//
+// Usage:
+//
+//	txsim [-exp e3|e4|e5|e7|all] [-seed S] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nestedtx/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: e3, e4, e5, e7, e9 or all")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if run("e3") {
+		points, err := sim.ReadFractionSweep(*seed, []float64{0, 0.25, 0.5, 0.75, 0.9, 1.0})
+		check(err)
+		check(sim.WriteTable(os.Stdout, "E3: read-fraction sweep (R/W vs exclusive vs serial)", points))
+		fmt.Println()
+	}
+	if run("e4") {
+		points, err := sim.DepthSweep(*seed, 4)
+		check(err)
+		check(sim.WriteTable(os.Stdout, "E4: nesting-depth sweep (concurrent siblings vs serial)", points))
+		fmt.Println()
+	}
+	if run("e5") {
+		points, err := sim.AbortSweep(*seed, []float64{0, 0.1, 0.25, 0.5})
+		check(err)
+		check(sim.WriteTable(os.Stdout, "E5: abort-rate sweep (recovery under load)", points))
+		fmt.Println()
+	}
+	if run("e7") {
+		points, err := sim.InheritanceSweep(*seed, []int{0, 1, 2, 4, 6})
+		check(err)
+		check(sim.WriteTable(os.Stdout, "E7: lock-inheritance chain depth (same work, deeper commits)", points))
+		fmt.Println()
+	}
+	if run("e9") {
+		points, err := sim.EngineSweep(*seed, []float64{0, 0.25, 0.5, 0.75, 0.9, 1.0})
+		check(err)
+		check(sim.WriteEngineTable(os.Stdout, "E9: Moss R/W locking vs Reed-style MVTO (flat transactions)", points))
+		fmt.Println()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "txsim:", err)
+		os.Exit(1)
+	}
+}

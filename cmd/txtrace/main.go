@@ -1,0 +1,106 @@
+// Command txtrace generates one seeded concurrent schedule, prints it in
+// the paper's notation, and explains it: the transaction tree with fates,
+// visibility relative to a chosen transaction, and the serial
+// rearrangement witness the checker constructs for it. It is a study and
+// debugging aid for the formal model.
+//
+// Usage:
+//
+//	txtrace [-seed S] [-aborts P] [-at T] [-serial]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"nestedtx/internal/checker"
+	"nestedtx/internal/event"
+	"nestedtx/internal/system"
+	"nestedtx/internal/trace"
+	"nestedtx/internal/tree"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "seed for system generation and the driver")
+	aborts := flag.Float64("aborts", 0.1, "scheduler abort probability")
+	at := flag.String("at", "T0", "transaction whose view to explain")
+	serialOnly := flag.Bool("serial", false, "print only the serial witness")
+	save := flag.String("save", "", "write the run (system type + schedule) to this JSON file")
+	load := flag.String("load", "", "read a previously saved run instead of generating one")
+	flag.Parse()
+
+	var st *event.SystemType
+	var sched event.Schedule
+	if *load != "" {
+		data, err := os.ReadFile(*load)
+		if err != nil {
+			fatal(err)
+		}
+		st, sched, err = event.UnmarshalRun(data)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		sys, err := system.Generate(rng, system.DefaultGenConfig())
+		if err != nil {
+			fatal(err)
+		}
+		sched, err = sys.RunConcurrent(system.DriverConfig{Seed: *seed, AbortProb: *aborts})
+		if err != nil {
+			fatal(err)
+		}
+		st = sys.SystemType()
+	}
+	if *save != "" {
+		data, err := event.MarshalRun(st, sched)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*save, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved run to %s\n", *save)
+	}
+	target := tree.TID(*at)
+	if !target.Valid() {
+		fatal(fmt.Errorf("invalid transaction name %q", *at))
+	}
+
+	if !*serialOnly {
+		fmt.Printf("concurrent schedule (seed %d): %s\n\n", *seed, trace.Summary(sched, st))
+		if err := trace.WriteNumbered(os.Stdout, sched); err != nil {
+			fatal(err)
+		}
+		fmt.Println("\ntransaction tree:")
+		if err := trace.WriteTree(os.Stdout, sched, st); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if err := trace.WriteFates(os.Stdout, sched, st); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if sched.IsOrphan(target) {
+		fmt.Printf("%s is an orphan; Theorem 34 does not apply to it.\n", target)
+		return
+	}
+	w, err := checker.Check(sched, st, target)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("visible(α,%s): %d of %d events\n", target, len(w.Visible), len(sched))
+	fmt.Printf("serial witness (write-equivalent to visible(α,%s)):\n", target)
+	if err := trace.WriteNumbered(os.Stdout, w.Serial); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "txtrace:", err)
+	os.Exit(1)
+}

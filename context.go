@@ -1,0 +1,63 @@
+package nestedtx
+
+import (
+	"context"
+	"errors"
+
+	"nestedtx/internal/event"
+	"nestedtx/internal/tree"
+)
+
+// RunCtx is [Manager.Run] with context cancellation: if ctx is cancelled
+// while the transaction runs, its blocked accesses unblock with
+// [ErrAborted], the transaction aborts and rolls back, and RunCtx returns
+// ctx.Err() (joined with the body's error when the body failed for its
+// own reasons).
+func (m *Manager) RunCtx(ctx context.Context, fn func(*Tx) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	id := tree.Root.Child(m.nextTop)
+	m.nextTop++
+	m.mu.Unlock()
+
+	m.rec.RecordAll(
+		event.Event{Kind: event.RequestCreate, T: id},
+		event.Event{Kind: event.Create, T: id},
+	)
+	tx := &Tx{mgr: m, id: id, cancel: make(chan struct{})}
+
+	// Bridge context cancellation to the transaction's abort cascade.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			tx.markAborted()
+		case <-stop:
+		}
+	}()
+
+	err := tx.execute(fn)
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		err = joinErrs(ctxErr, err)
+	}
+	if err != nil {
+		m.lm.Abort(id)
+		return err
+	}
+	v := tx.result()
+	m.rec.Record(event.Event{Kind: event.RequestCommit, T: id, Value: v})
+	m.lm.Commit(id, v)
+	return nil
+}
+
+// joinErrs merges a context error with the body's error, dropping the
+// redundant ErrAborted that cancellation itself induced.
+func joinErrs(a, b error) error {
+	if b == nil || errors.Is(b, ErrAborted) {
+		return a
+	}
+	return errors.Join(a, b)
+}

@@ -1,0 +1,43 @@
+// Package nestedtx is a nested-transaction runtime for Go implementing
+// Moss' read/write locking algorithm, the subject of Fekete, Lynch,
+// Merritt & Weihl, "Nested Transactions and Read/Write Locking" (PODS
+// 1987).
+//
+// A transaction may contain concurrent subtransactions that are atomic
+// with respect to one another and may abort independently; the effects of
+// an aborted subtransaction are rolled back without disturbing its
+// siblings or parent. Concurrency control follows Moss' rule: an access
+// may proceed only when every holder of a conflicting lock is an ancestor
+// of the access; on commit a transaction's locks (and, for write locks,
+// its versions) are inherited by its parent, and on abort they are
+// discarded.
+//
+// # Quick start
+//
+//	m := nestedtx.NewManager()
+//	m.Register("acct", nestedtx.Account{Balance: 100})
+//
+//	err := m.Run(func(tx *nestedtx.Tx) error {
+//		h := tx.Go(func(tx *nestedtx.Tx) error { // concurrent subtransaction
+//			_, err := tx.Do("acct", nestedtx.AcctDeposit{Amount: 10})
+//			return err
+//		})
+//		if _, err := tx.Do("acct", nestedtx.AcctBalance{}); err != nil {
+//			return err
+//		}
+//		return h.Wait()
+//	})
+//
+// # Correctness
+//
+// The runtime can record its schedule in the formal vocabulary of the
+// paper ([WithRecording]); [Manager.Verify] then machine-checks the run
+// against the paper's correctness condition (Theorem 34): the schedule is
+// serially correct for every non-orphan transaction.
+//
+// # Deadlocks
+//
+// Moss' algorithm blocks accesses, so cycles are possible. The runtime
+// detects wait-for cycles and aborts a victim, whose access returns
+// [ErrDeadlock]; [Tx.SubRetry] and [Manager.RunRetry] re-run victims.
+package nestedtx

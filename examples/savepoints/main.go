@@ -1,0 +1,87 @@
+// Savepoints: System R recovery blocks as degenerate nested transactions.
+//
+// The paper's introduction traces nesting back to System R, where "a
+// recovery block can be aborted and the transaction restarted at the last
+// savepoint". A savepoint is exactly a *sequential* subtransaction: work
+// since the savepoint either commits into the parent or rolls back to it,
+// and the parent carries on either way.
+//
+// This example processes a batch of orders inside one transaction, one
+// savepoint per order: bad orders roll back individually, the rest of the
+// batch commits atomically.
+//
+// Run with: go run ./examples/savepoints
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"nestedtx"
+)
+
+type order struct {
+	item string
+	qty  int64
+}
+
+var errOutOfStock = errors.New("out of stock")
+
+func main() {
+	m := nestedtx.NewManager(nestedtx.WithRecording())
+	m.MustRegister("stock/widget", nestedtx.Counter{N: 10})
+	m.MustRegister("stock/gadget", nestedtx.Counter{N: 2})
+	m.MustRegister("shipped", nestedtx.Counter{})
+
+	batch := []order{
+		{"widget", 4},
+		{"gadget", 5}, // will fail: only 2 in stock
+		{"widget", 3},
+		{"gadget", 1},
+	}
+
+	var applied, skipped []order
+	err := m.Run(func(tx *nestedtx.Tx) error {
+		for _, o := range batch {
+			o := o
+			// Savepoint: a sequential subtransaction per order.
+			err := tx.Sub(func(sp *nestedtx.Tx) error {
+				v, err := sp.Write("stock/"+o.item, nestedtx.CtrTake{N: o.qty})
+				if err != nil {
+					return err
+				}
+				if !v.(nestedtx.TakeResult).OK {
+					return errOutOfStock // rolls back to the savepoint
+				}
+				_, err = sp.Write("shipped", nestedtx.CtrAdd{Delta: o.qty})
+				return err
+			})
+			switch {
+			case err == nil:
+				applied = append(applied, o)
+			case errors.Is(err, errOutOfStock):
+				skipped = append(skipped, o) // batch continues
+			default:
+				return err // real failure: abort the whole batch
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("applied: %v\nskipped: %v\n", applied, skipped)
+	for _, name := range []string{"stock/widget", "stock/gadget", "shipped"} {
+		s, err := m.State(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s %v\n", name, s)
+	}
+	if err := m.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("schedule verified (Theorem 34)")
+}

@@ -1,0 +1,118 @@
+// Travel: concurrent subtransactions with independent aborts.
+//
+// Booking a trip reserves a flight, a hotel and a car *concurrently* —
+// each reservation is a subtransaction spawned with Tx.Go. If the
+// preferred hotel is sold out, only that subtransaction aborts (releasing
+// whatever it had reserved); the parent books the fallback hotel while the
+// flight and car legs stand. If nothing works the whole trip aborts and
+// every reservation rolls back atomically.
+//
+// This is the RPC-structured nested-transaction use case from the paper's
+// introduction: services calling services, each call atomic, failures
+// contained.
+//
+// Run with: go run ./examples/travel
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"nestedtx"
+)
+
+var errSoldOut = errors.New("sold out")
+
+// reserve takes one unit of capacity from a counter-typed inventory
+// object, failing (and aborting its subtransaction) when none is left.
+// CtrTake is a single conditional write — a read-then-write pair would
+// invite lock-upgrade deadlocks between concurrent travellers.
+func reserve(resource string) func(*nestedtx.Tx) error {
+	return func(tx *nestedtx.Tx) error {
+		v, err := tx.Write(resource, nestedtx.CtrTake{N: 1})
+		if err != nil {
+			return err
+		}
+		if !v.(nestedtx.TakeResult).OK {
+			return errSoldOut
+		}
+		return nil
+	}
+}
+
+func bookTrip(m *nestedtx.Manager) error {
+	return m.RunRetry(50, func(tx *nestedtx.Tx) error {
+		flight := tx.Go(reserve("flights"))
+		car := tx.Go(reserve("cars"))
+		// Hotel with fallback: the preferred hotel's abort is invisible to
+		// the flight and car legs.
+		hotel := tx.Go(func(tx *nestedtx.Tx) error {
+			if err := tx.Sub(reserve("hotel/grand")); err == nil {
+				return nil
+			} else if !errors.Is(err, errSoldOut) {
+				return err
+			}
+			return tx.Sub(reserve("hotel/budget"))
+		})
+		for _, h := range []*nestedtx.Handle{flight, car, hotel} {
+			if err := h.Wait(); err != nil {
+				return err // aborts the whole trip; all legs roll back
+			}
+		}
+		return nil
+	})
+}
+
+func main() {
+	m := nestedtx.NewManager()
+	m.MustRegister("flights", nestedtx.Counter{N: 10})
+	m.MustRegister("cars", nestedtx.Counter{N: 10})
+	m.MustRegister("hotel/grand", nestedtx.Counter{N: 3})
+	m.MustRegister("hotel/budget", nestedtx.Counter{N: 5})
+
+	const travellers = 12
+	var wg sync.WaitGroup
+	results := make([]error, travellers)
+	for i := 0; i < travellers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = bookTrip(m)
+		}(i)
+	}
+	wg.Wait()
+
+	booked := 0
+	for i, err := range results {
+		switch {
+		case err == nil:
+			booked++
+		case errors.Is(err, errSoldOut):
+			fmt.Printf("traveller %2d: trip aborted (no rooms anywhere); all legs rolled back\n", i)
+		default:
+			log.Fatalf("traveller %d: %v", i, err)
+		}
+	}
+
+	fmt.Printf("\n%d/%d trips booked\n", booked, travellers)
+	remaining := map[string]int64{}
+	var taken int64
+	for _, r := range []string{"flights", "cars", "hotel/grand", "hotel/budget"} {
+		s, err := m.State(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		remaining[r] = s.(nestedtx.Counter).N
+		fmt.Printf("%-13s remaining: %d\n", r, remaining[r])
+	}
+	// Conservation: exactly `booked` units left each of flights and cars,
+	// and `booked` rooms across the two hotels.
+	taken = (10 - remaining["flights"]) + (10 - remaining["cars"]) +
+		(3 - remaining["hotel/grand"]) + (5 - remaining["hotel/budget"])
+	if taken != int64(3*booked) {
+		log.Fatalf("inventory leak: %d units taken for %d trips", taken, booked)
+	}
+	fmt.Println("inventory conserved: every aborted leg was rolled back")
+}

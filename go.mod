@@ -1,0 +1,3 @@
+module nestedtx
+
+go 1.24

@@ -1,0 +1,385 @@
+package adt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// ops returns a generator of random ops for each state kind, used by the
+// read-only property tests.
+func randomOp(r *rand.Rand, kind int) Op {
+	switch kind {
+	case 0:
+		if r.Intn(2) == 0 {
+			return RegRead{}
+		}
+		return RegWrite{V: int64(r.Intn(100))}
+	case 1:
+		switch r.Intn(3) {
+		case 0:
+			return CtrGet{}
+		case 1:
+			return CtrAdd{Delta: int64(r.Intn(20) - 10)}
+		default:
+			return CtrTake{N: int64(r.Intn(5))}
+		}
+	case 2:
+		switch r.Intn(3) {
+		case 0:
+			return AcctBalance{}
+		case 1:
+			return AcctDeposit{Amount: int64(r.Intn(50))}
+		default:
+			return AcctWithdraw{Amount: int64(r.Intn(80))}
+		}
+	case 3:
+		switch r.Intn(4) {
+		case 0:
+			return SetContains{X: int64(r.Intn(8))}
+		case 1:
+			return SetSize{}
+		case 2:
+			return SetInsert{X: int64(r.Intn(8))}
+		default:
+			return SetRemove{X: int64(r.Intn(8))}
+		}
+	default:
+		k := []string{"a", "b", "c"}[r.Intn(3)]
+		switch r.Intn(3) {
+		case 0:
+			return TblGet{K: k}
+		case 1:
+			return TblPut{K: k, V: int64(r.Intn(100))}
+		default:
+			return TblDelete{K: k}
+		}
+	}
+}
+
+func initialState(r *rand.Rand, kind int) State {
+	switch kind {
+	case 0:
+		return NewRegister(int64(r.Intn(10)))
+	case 1:
+		return Counter{N: int64(r.Intn(10))}
+	case 2:
+		return Account{Balance: int64(r.Intn(100))}
+	case 3:
+		return NewIntSet(int64(r.Intn(4)), int64(r.Intn(4)))
+	default:
+		return NewTable(map[string]Value{"a": int64(1)})
+	}
+}
+
+// TestReadOnlyOpsReturnSameState: the contract behind the paper's
+// semantic condition 3 — a read access's Apply must return the state it
+// was given (strongest form of "leaves the object in essentially the same
+// state").
+func TestReadOnlyOpsReturnSameState(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		kind := r.Intn(5)
+		s := initialState(r, kind)
+		// Advance through a few random ops first.
+		for i := 0; i < r.Intn(6); i++ {
+			s, _ = randomOp(r, kind).Apply(s)
+		}
+		op := randomOp(r, kind)
+		next, _ := op.Apply(s)
+		if op.ReadOnly() {
+			return sameDynamic(next, s)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sameDynamic compares states that hold maps (not == comparable) by
+// identity of behaviour on probes.
+func sameDynamic(a, b State) bool {
+	switch av := a.(type) {
+	case IntSet:
+		bv := b.(IntSet)
+		if av.Size() != bv.Size() {
+			return false
+		}
+		for x := int64(0); x < 16; x++ {
+			if av.Has(x) != bv.Has(x) {
+				return false
+			}
+		}
+		return true
+	case Table:
+		bv := b.(Table)
+		if av.Len() != bv.Len() {
+			return false
+		}
+		for _, k := range []string{"a", "b", "c"} {
+			if av.Get(k) != bv.Get(k) {
+				return false
+			}
+		}
+		return true
+	default:
+		return a == b
+	}
+}
+
+func TestRegister(t *testing.T) {
+	s := State(NewRegister(int64(3)))
+	s2, v := RegRead{}.Apply(s)
+	if v != int64(3) || s2 != s {
+		t.Fatalf("read: %v %v", v, s2)
+	}
+	s3, v := RegWrite{V: int64(9)}.Apply(s)
+	if v != int64(9) || s3.(Register).V != int64(9) || s.(Register).V != int64(3) {
+		t.Fatal("write must return new state and not mutate the old")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	s := State(Counter{N: 5})
+	s, v := CtrAdd{Delta: -2}.Apply(s)
+	if v != int64(3) || s.(Counter).N != 3 {
+		t.Fatalf("add: %v", v)
+	}
+	_, v = CtrGet{}.Apply(s)
+	if v != int64(3) {
+		t.Fatalf("get: %v", v)
+	}
+	s, v = CtrTake{N: 5}.Apply(s)
+	if v.(TakeResult).OK || s.(Counter).N != 3 {
+		t.Fatal("take must fail without enough units and leave state")
+	}
+	s, v = CtrTake{N: 3}.Apply(s)
+	if !v.(TakeResult).OK || v.(TakeResult).N != 0 || s.(Counter).N != 0 {
+		t.Fatal("take should succeed exactly")
+	}
+}
+
+func TestAccount(t *testing.T) {
+	s := State(Account{Balance: 10})
+	s, v := AcctWithdraw{Amount: 20}.Apply(s)
+	if v.(AcctResult).OK || s.(Account).Balance != 10 {
+		t.Fatal("overdraft must be refused without changing state")
+	}
+	s, v = AcctDeposit{Amount: 15}.Apply(s)
+	if !v.(AcctResult).OK || v.(AcctResult).Balance != 25 {
+		t.Fatalf("deposit: %v", v)
+	}
+	s, v = AcctWithdraw{Amount: 25}.Apply(s)
+	if !v.(AcctResult).OK || s.(Account).Balance != 0 {
+		t.Fatalf("withdraw: %v", v)
+	}
+	_, v = AcctBalance{}.Apply(s)
+	if v != int64(0) {
+		t.Fatalf("balance: %v", v)
+	}
+}
+
+func TestIntSetPersistence(t *testing.T) {
+	s0 := NewIntSet(1, 2)
+	s1, v := SetInsert{X: 3}.Apply(s0)
+	if v != true || !s1.(IntSet).Has(3) || s0.Has(3) {
+		t.Fatal("insert must be persistent (no aliasing)")
+	}
+	_, v = SetInsert{X: 3}.Apply(s1)
+	if v != false {
+		t.Fatal("re-insert reports false")
+	}
+	s2, v := SetRemove{X: 1}.Apply(s1)
+	if v != true || s2.(IntSet).Has(1) || !s1.(IntSet).Has(1) {
+		t.Fatal("remove must be persistent")
+	}
+	_, v = SetRemove{X: 99}.Apply(s2)
+	if v != false {
+		t.Fatal("removing absent member reports false")
+	}
+	_, v = SetContains{X: 2}.Apply(s2)
+	if v != true {
+		t.Fatal("contains")
+	}
+	_, v = SetSize{}.Apply(s2)
+	if v != int64(2) {
+		t.Fatalf("size: %v", v)
+	}
+}
+
+func TestTablePersistence(t *testing.T) {
+	t0 := NewTable(map[string]Value{"a": int64(1)})
+	t1, prev := TblPut{K: "b", V: int64(2)}.Apply(t0)
+	if prev != nil || t0.Get("b") != nil || t1.(Table).Get("b") != int64(2) {
+		t.Fatal("put must be persistent and return previous value")
+	}
+	_, prev = TblPut{K: "a", V: int64(5)}.Apply(t1)
+	if prev != int64(1) {
+		t.Fatalf("previous = %v", prev)
+	}
+	t2, ok := TblDelete{K: "a"}.Apply(t1)
+	if ok != true || t2.(Table).Get("a") != nil || t1.(Table).Get("a") != int64(1) {
+		t.Fatal("delete must be persistent")
+	}
+	_, ok = TblDelete{K: "zz"}.Apply(t2)
+	if ok != false {
+		t.Fatal("deleting absent key reports false")
+	}
+	_, v := TblGet{K: "b"}.Apply(t2)
+	if v != int64(2) {
+		t.Fatalf("get: %v", v)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := []Op{
+		RegRead{}, RegWrite{V: 1}, CtrGet{}, CtrAdd{Delta: 2}, CtrTake{N: 1},
+		AcctBalance{}, AcctDeposit{Amount: 3}, AcctWithdraw{Amount: 4},
+		SetInsert{X: 5}, SetRemove{X: 6}, SetContains{X: 7}, SetSize{},
+		TblGet{K: "k"}, TblPut{K: "k", V: 1}, TblDelete{K: "k"},
+	}
+	for _, op := range ops {
+		if op.String() == "" {
+			t.Errorf("%T has empty String", op)
+		}
+	}
+	states := []State{NewRegister(1), Counter{}, Account{}, NewIntSet(), NewTable(nil)}
+	for _, s := range states {
+		if s.String() == "" {
+			t.Errorf("%T has empty String", s)
+		}
+	}
+}
+
+func TestQueuePersistence(t *testing.T) {
+	q0 := NewQueue(int64(1), int64(2))
+	s1, n := QEnqueue{V: int64(3)}.Apply(q0)
+	if n != int64(3) || q0.Len() != 2 || s1.(Queue).Len() != 3 {
+		t.Fatal("enqueue must be persistent and return new length")
+	}
+	_, front := QPeek{}.Apply(s1)
+	if front != int64(1) {
+		t.Fatalf("peek = %v", front)
+	}
+	s2, v := QDequeue{}.Apply(s1)
+	if v != int64(1) || s2.(Queue).Len() != 2 || s1.(Queue).Len() != 3 {
+		t.Fatal("dequeue must be persistent and return front")
+	}
+	_, l := QLen{}.Apply(s2)
+	if l != int64(2) {
+		t.Fatalf("len = %v", l)
+	}
+	empty := NewQueue()
+	same, v := QDequeue{}.Apply(empty)
+	if v != nil || same.(Queue).Len() != 0 {
+		t.Fatal("dequeue of empty queue returns nil and leaves state")
+	}
+	for _, op := range []Op{QPeek{}, QEnqueue{V: 1}, QDequeue{}, QLen{}} {
+		if op.String() == "" {
+			t.Fatal("strings")
+		}
+	}
+}
+
+func TestQueueCodecRoundTrip(t *testing.T) {
+	q := NewQueue(int64(1), "two", true)
+	raw, err := EncodeState(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeState(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := back.(Queue).Items()
+	if len(items) != 3 || items[0] != int64(1) || items[1] != "two" || items[2] != true {
+		t.Fatalf("round-trip changed queue: %v", items)
+	}
+	for _, op := range []Op{QEnqueue{V: int64(4)}, QDequeue{}, QPeek{}, QLen{}} {
+		raw, err := EncodeOp(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeOp(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.String() != op.String() || back.ReadOnly() != op.ReadOnly() {
+			t.Fatalf("op round-trip mismatch: %s vs %s", op, back)
+		}
+	}
+}
+
+func TestCodecErrorPaths(t *testing.T) {
+	// Bad inner payloads for each tagged decode path.
+	badValues := []string{
+		`{"t":"i","v":"x"}`, `{"t":"b","v":3}`, `{"t":"s","v":1}`,
+		`{"t":"acct","v":"x"}`, `{"t":"take","v":"x"}`, `not json`,
+	}
+	for _, b := range badValues {
+		if _, err := DecodeValue([]byte(b)); err == nil {
+			t.Errorf("DecodeValue(%q) accepted", b)
+		}
+	}
+	badOps := []string{
+		`{"t":"reg.write","a":{"t":"?"}}`, `{"t":"ctr.add","a":"x"}`,
+		`{"t":"ctr.take","a":"x"}`, `{"t":"acct.deposit","a":"x"}`,
+		`{"t":"acct.withdraw","a":"x"}`, `{"t":"set.insert","a":"x"}`,
+		`{"t":"tbl.get","a":1}`, `{"t":"tbl.put","a":"x"}`,
+		`{"t":"tbl.put","a":{"k":"k","v":{"t":"?"}}}`,
+		`{"t":"q.enqueue","a":{"t":"?"}}`, `bogus`,
+	}
+	for _, b := range badOps {
+		if _, err := DecodeOp([]byte(b)); err == nil {
+			t.Errorf("DecodeOp(%q) accepted", b)
+		}
+	}
+	badStates := []string{
+		`{"t":"reg","v":{"t":"?"}}`, `{"t":"ctr","v":"x"}`, `{"t":"acct","v":"x"}`,
+		`{"t":"set","v":"x"}`, `{"t":"tbl","v":"x"}`, `{"t":"tbl","v":{"k":{"t":"?"}}}`,
+		`{"t":"queue","v":"x"}`, `{"t":"queue","v":[{"t":"?"}]}`, `garbage`,
+	}
+	for _, b := range badStates {
+		if _, err := DecodeState([]byte(b)); err == nil {
+			t.Errorf("DecodeState(%q) accepted", b)
+		}
+	}
+	// Ops/states carrying unencodable values are rejected.
+	if _, err := EncodeOp(RegWrite{V: struct{ X int }{}}); err == nil {
+		t.Error("RegWrite with custom value must be rejected")
+	}
+	if _, err := EncodeOp(TblPut{K: "k", V: struct{ X int }{}}); err == nil {
+		t.Error("TblPut with custom value must be rejected")
+	}
+	if _, err := EncodeOp(QEnqueue{V: struct{ X int }{}}); err == nil {
+		t.Error("QEnqueue with custom value must be rejected")
+	}
+	if _, err := EncodeState(NewRegister(struct{ X int }{})); err == nil {
+		t.Error("register with custom value must be rejected")
+	}
+	if _, err := EncodeState(NewQueue(struct{ X int }{})); err == nil {
+		t.Error("queue with custom value must be rejected")
+	}
+	if _, err := EncodeState(NewTable(map[string]Value{"k": struct{ X int }{}})); err == nil {
+		t.Error("table with custom value must be rejected")
+	}
+}
+
+func TestValueCodecRoundTripAll(t *testing.T) {
+	values := []Value{nil, int64(-5), true, false, "hello",
+		AcctResult{OK: true, Balance: 3}, TakeResult{OK: false, N: 9}}
+	for _, v := range values {
+		raw, err := EncodeValue(v)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		back, err := DecodeValue(raw)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if back != v {
+			t.Fatalf("round trip changed %v to %v", v, back)
+		}
+	}
+}

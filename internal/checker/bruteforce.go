@@ -1,0 +1,157 @@
+package checker
+
+import (
+	"fmt"
+
+	"nestedtx/internal/event"
+	"nestedtx/internal/object"
+	"nestedtx/internal/serial"
+	"nestedtx/internal/tree"
+)
+
+// BruteForce decides serial correctness by exhaustive search — the
+// ground-truth oracle used to cross-validate the constructive checker on
+// small schedules. It searches for ANY serial schedule write-equivalent
+// to visible(alpha, t):
+//
+//   - the candidate uses exactly the events of visible(alpha,t);
+//   - each transaction's automaton operations keep their order (projection
+//     equality), and each object's write REQUEST_COMMITs keep their order
+//     (write-equality); COMMIT/ABORT events are free;
+//   - every prefix satisfies the serial scheduler's preconditions and
+//     replays on the basic objects.
+//
+// The search is exponential; budget caps the number of DFS nodes (0 means
+// a default of one million). It returns whether a witness exists, the
+// witness, and whether the search completed within budget (found=false
+// with exhausted=false means "unknown").
+func BruteForce(alpha event.Schedule, st *event.SystemType, t tree.TID, budget int) (found bool, witness event.Schedule, exhausted bool, err error) {
+	if alpha.IsOrphan(t) {
+		return false, nil, true, fmt.Errorf("checker: %s is an orphan", t)
+	}
+	vis := alpha.Visible(t)
+	if len(vis) == 0 {
+		return true, nil, true, nil
+	}
+	if budget <= 0 {
+		budget = 1 << 20
+	}
+
+	// Build the ordered streams: one per transaction automaton, one per
+	// scheduler return event (COMMIT/ABORT are singletons).
+	var streams [][]event.Event
+	byTx := make(map[tree.TID]int)
+	for _, e := range vis {
+		if e.Kind == event.Commit || e.Kind == event.Abort {
+			streams = append(streams, []event.Event{e})
+			continue
+		}
+		u, ok := event.TransactionOf(e)
+		if !ok {
+			return false, nil, true, fmt.Errorf("checker: unexpected event %s in visible subsequence", e)
+		}
+		i, seen := byTx[u]
+		if !seen {
+			i = len(streams)
+			byTx[u] = i
+			streams = append(streams, nil)
+		}
+		streams[i] = append(streams[i], e)
+	}
+	// Per-object write order (the write-equality constraint).
+	writeOrder := make(map[string][]event.Event)
+	for _, x := range st.Objects() {
+		writeOrder[x] = vis.AtObject(st, x).Write(st)
+	}
+
+	nodes := 0
+	pos := make([]int, len(streams))
+	writePos := make(map[string]int, len(writeOrder))
+	var out event.Schedule
+
+	var dfs func(sc *serial.Scheduler, objs map[string]*object.Basic) bool
+	dfs = func(sc *serial.Scheduler, objs map[string]*object.Basic) bool {
+		if len(out) == len(vis) {
+			return true
+		}
+		if nodes >= budget {
+			return false
+		}
+		nodes++
+		for i := range streams {
+			if pos[i] >= len(streams[i]) {
+				continue
+			}
+			e := streams[i][pos[i]]
+			// Write-order constraint.
+			var wobj string
+			if e.Kind == event.RequestCommit && st.IsWriteAccess(e.T) {
+				a, _ := st.AccessInfo(e.T)
+				wobj = a.Object
+				wo := writeOrder[wobj]
+				if writePos[wobj] >= len(wo) || wo[writePos[wobj]] != e {
+					continue
+				}
+			}
+			// Serial-scheduler precondition.
+			if sc.Enabled(e) != nil {
+				continue
+			}
+			// Object replay (access events only). Clone the one affected
+			// object; scheduler state is cloned wholesale (small sets).
+			var touched *object.Basic
+			var prevObj *object.Basic
+			if a, ok := st.AccessInfo(e.T); ok && (e.Kind == event.Create || e.Kind == event.RequestCommit) {
+				prevObj = objs[a.Object]
+				touched = prevObj.Clone()
+				if touched.Step(e) != nil {
+					continue
+				}
+				objs[a.Object] = touched
+			}
+			scSnapshot := sc.Clone()
+			sc.Apply(e)
+			pos[i]++
+			if wobj != "" {
+				writePos[wobj]++
+			}
+			out = append(out, e)
+
+			if dfs(sc, objs) {
+				return true
+			}
+
+			// Undo.
+			out = out[:len(out)-1]
+			if wobj != "" {
+				writePos[wobj]--
+			}
+			pos[i]--
+			*sc = *scSnapshot
+			if touched != nil {
+				objs[prevObj.Name()] = prevObj
+			}
+		}
+		return false
+	}
+
+	sc := serial.NewScheduler()
+	objs := make(map[string]*object.Basic, len(writeOrder))
+	for _, x := range st.Objects() {
+		b, err := object.New(st, x)
+		if err != nil {
+			return false, nil, true, err
+		}
+		objs[x] = b
+	}
+	ok := dfs(sc, objs)
+	if ok {
+		w := out.Clone()
+		// Defensive: the witness must pass the full validator.
+		if err := verify(alpha, w, vis, st, t); err != nil {
+			return false, nil, true, fmt.Errorf("checker: brute-force witness failed validation: %w", err)
+		}
+		return true, w, true, nil
+	}
+	return false, nil, nodes < budget, nil
+}

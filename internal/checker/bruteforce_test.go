@@ -1,0 +1,151 @@
+package checker
+
+import (
+	"math/rand"
+	"testing"
+
+	"nestedtx/internal/adt"
+	"nestedtx/internal/event"
+	"nestedtx/internal/system"
+	"nestedtx/internal/tree"
+)
+
+// smallSystems yields compact systems whose visible subsequences are small
+// enough for exhaustive search.
+func smallSystems(t *testing.T) []*system.System {
+	t.Helper()
+	var out []*system.System
+	cfg := system.GenConfig{Objects: 1, TopLevel: 2, MaxDepth: 1, MaxFanout: 2, ReadFraction: 0.5, SubProb: 0.3, SeqProb: 0.5}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed + 77))
+		sys, err := system.Generate(rng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, sys)
+	}
+	return out
+}
+
+// TestBruteForceAgreesWithChecker cross-validates the constructive checker
+// against the exhaustive oracle: on real schedules both must find a
+// witness; the witnesses may differ but both must validate.
+func TestBruteForceAgreesWithChecker(t *testing.T) {
+	for i, sys := range smallSystems(t) {
+		sched, err := sys.RunConcurrent(system.DriverConfig{Seed: int64(i), AbortProb: 0.15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := sys.SystemType()
+		for _, u := range []tree.TID{tree.Root, "T0.0", "T0.1"} {
+			if sched.IsOrphan(u) {
+				continue
+			}
+			w, cerr := Check(sched, st, u)
+			found, bw, exhausted, berr := BruteForce(sched, st, u, 1<<19)
+			if berr != nil {
+				t.Fatalf("sys %d at %s: brute force error: %v", i, u, berr)
+			}
+			if !exhausted && !found {
+				continue // budget ran out before a verdict; no information
+			}
+			if cerr == nil && !found {
+				t.Fatalf("sys %d at %s: checker found a witness but exhaustive search did not:\n%s\nwitness:\n%s",
+					i, u, sched, w.Serial)
+			}
+			if cerr != nil && found {
+				t.Fatalf("sys %d at %s: exhaustive search found a witness the checker missed (incompleteness):\n%s\noracle witness:\n%s",
+					i, u, sched, bw)
+			}
+		}
+	}
+}
+
+// TestBruteForceRejectsImpossibleRead: the oracle agrees with the checker
+// on a non-serializable input.
+func TestBruteForceRejectsImpossibleRead(t *testing.T) {
+	st := event.NewSystemType()
+	st.DefineObject("X", adt.NewRegister(int64(0)))
+	st.MustDefineAccess("T0.0.0", "X", adt.RegWrite{V: int64(7)})
+	st.MustDefineAccess("T0.1.0", "X", adt.RegRead{})
+	alpha := event.Schedule{
+		ev(event.Create, "T0"),
+		ev(event.RequestCreate, "T0.0"),
+		ev(event.RequestCreate, "T0.1"),
+		ev(event.Create, "T0.0"),
+		ev(event.Create, "T0.1"),
+		ev(event.RequestCreate, "T0.0.0"),
+		ev(event.RequestCreate, "T0.1.0"),
+		ev(event.Create, "T0.0.0"),
+		ev(event.Create, "T0.1.0"),
+		ev(event.RequestCommit, "T0.0.0", int64(7)),
+		ev(event.RequestCommit, "T0.1.0", int64(3)), // impossible value
+		ev(event.Commit, "T0.0.0"),
+		ev(event.Commit, "T0.1.0"),
+		ev(event.ReportCommit, "T0.0.0", int64(7)),
+		ev(event.ReportCommit, "T0.1.0", int64(3)),
+		ev(event.RequestCommit, "T0.0", int64(1)),
+		ev(event.RequestCommit, "T0.1", int64(1)),
+		ev(event.Commit, "T0.0"),
+		ev(event.Commit, "T0.1"),
+	}
+	found, _, exhausted, err := BruteForce(alpha, st, tree.Root, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatal("oracle accepted an impossible read")
+	}
+	if !exhausted {
+		t.Fatal("oracle should exhaust this small space")
+	}
+	if _, err := Check(alpha, st, tree.Root); err == nil {
+		t.Fatal("checker accepted an impossible read")
+	}
+}
+
+func TestBruteForceTrivialAndOrphan(t *testing.T) {
+	st := event.NewSystemType()
+	st.DefineObject("X", adt.NewRegister(int64(0)))
+	found, w, exhausted, err := BruteForce(nil, st, tree.Root, 0)
+	if err != nil || !found || !exhausted || len(w) != 0 {
+		t.Fatalf("empty schedule: %v %v %v %v", found, w, exhausted, err)
+	}
+	alpha := event.Schedule{ev(event.RequestCreate, "T0.0"), ev(event.Abort, "T0.0")}
+	if _, _, _, err := BruteForce(alpha, st, "T0.0", 0); err == nil {
+		t.Fatal("orphan must be refused")
+	}
+}
+
+// TestOracleOnEnumeratedSchedules cross-validates the constructive checker
+// against the exhaustive oracle on every schedule of the fully enumerable
+// one-top-level system and a bounded sample of the writer/reader system.
+func TestOracleOnEnumeratedSchedules(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		sys   *system.System
+		limit int
+	}{
+		{"one-top-level", oneTopLevel(t), 0},
+		{"writer-reader", tinySystem(t), 400},
+	} {
+		st := tc.sys.SystemType()
+		_, _, err := tc.sys.Enumerate(system.EnumConfig{Limit: tc.limit}, func(s event.Schedule) bool {
+			_, cerr := Check(s, st, tree.Root)
+			found, _, exhausted, berr := BruteForce(s, st, tree.Root, 1<<18)
+			if berr != nil {
+				t.Fatalf("%s: oracle error: %v", tc.name, berr)
+			}
+			if !exhausted && !found {
+				return true
+			}
+			if (cerr == nil) != found {
+				t.Fatalf("%s: checker (%v) disagrees with oracle (found=%v) on:\n%s", tc.name, cerr, found, s)
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package checker
+
+import (
+	"testing"
+
+	"nestedtx/internal/adt"
+	"nestedtx/internal/core"
+	"nestedtx/internal/event"
+	"nestedtx/internal/system"
+	"nestedtx/internal/tree"
+)
+
+// bankSystem builds a small two-account system with two top-level
+// transactions, each transferring via nested subtransactions, plus a
+// read-only auditor.
+func bankSystem(t *testing.T) *system.System {
+	t.Helper()
+	transfer := func(from, to string, amt int64) *system.Program {
+		return &system.Program{
+			Children: []system.ChildSpec{
+				system.Access(from, adt.AcctWithdraw{Amount: amt}),
+				system.Access(to, adt.AcctDeposit{Amount: amt}),
+			},
+			Sequential: true,
+		}
+	}
+	audit := &system.Program{
+		Children: []system.ChildSpec{
+			system.Access("A", adt.AcctBalance{}),
+			system.Access("B", adt.AcctBalance{}),
+		},
+	}
+	sys, err := system.New(
+		map[string]adt.State{
+			"A": adt.Account{Balance: 100},
+			"B": adt.Account{Balance: 50},
+		},
+		[]system.ChildSpec{
+			system.Sub(transfer("A", "B", 30)),
+			system.Sub(transfer("B", "A", 10)),
+			system.Sub(audit),
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestCheckBankNoAborts(t *testing.T) {
+	sys := bankSystem(t)
+	for seed := int64(0); seed < 20; seed++ {
+		sched, err := sys.RunConcurrent(system.DriverConfig{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: driver: %v", seed, err)
+		}
+		if err := event.WFConcurrent(sched, sys.SystemType()); err != nil {
+			t.Fatalf("seed %d: concurrent schedule ill-formed: %v", seed, err)
+		}
+		if err := CheckAll(sched, sys.SystemType()); err != nil {
+			t.Fatalf("seed %d: %v\nschedule:\n%s", seed, err, sched)
+		}
+	}
+}
+
+func TestCheckBankWithAborts(t *testing.T) {
+	sys := bankSystem(t)
+	for seed := int64(0); seed < 20; seed++ {
+		sched, err := sys.RunConcurrent(system.DriverConfig{Seed: seed, AbortProb: 0.15})
+		if err != nil {
+			t.Fatalf("seed %d: driver: %v", seed, err)
+		}
+		if err := CheckAll(sched, sys.SystemType()); err != nil {
+			t.Fatalf("seed %d: %v\nschedule:\n%s", seed, err, sched)
+		}
+	}
+}
+
+func TestCheckExclusiveMode(t *testing.T) {
+	sys := bankSystem(t)
+	for seed := int64(0); seed < 10; seed++ {
+		sched, err := sys.RunConcurrent(system.DriverConfig{Seed: seed, Mode: core.Exclusive, AbortProb: 0.1})
+		if err != nil {
+			t.Fatalf("seed %d: driver: %v", seed, err)
+		}
+		if err := CheckAll(sched, sys.SystemType()); err != nil {
+			t.Fatalf("seed %d: %v\nschedule:\n%s", seed, err, sched)
+		}
+	}
+}
+
+func TestCheckRejectsOrphan(t *testing.T) {
+	st := event.NewSystemType()
+	st.DefineObject("X", adt.NewRegister(int64(0)))
+	st.MustDefineAccess("T0.0.0", "X", adt.RegWrite{V: int64(1)})
+	alpha := event.Schedule{
+		{Kind: event.RequestCreate, T: "T0.0"},
+		{Kind: event.Create, T: "T0.0"},
+		{Kind: event.Abort, T: "T0.0"},
+	}
+	if _, err := Check(alpha, st, "T0.0"); err == nil {
+		t.Fatal("Check must refuse orphans")
+	}
+}
+
+func TestWitnessFieldsConsistent(t *testing.T) {
+	sys := bankSystem(t)
+	sched, err := sys.RunConcurrent(system.DriverConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Check(sched, sys.SystemType(), tree.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !event.WriteEquivalent(sys.SystemType(), w.Serial, w.Visible) {
+		t.Fatal("witness serial schedule not write-equivalent to visible subsequence")
+	}
+	if !w.Serial.AtTransaction(tree.Root).Equal(sched.AtTransaction(tree.Root)) {
+		t.Fatal("witness changes root projection")
+	}
+}

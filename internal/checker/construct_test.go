@@ -1,0 +1,217 @@
+package checker
+
+import (
+	"testing"
+
+	"nestedtx/internal/adt"
+	"nestedtx/internal/event"
+	"nestedtx/internal/serial"
+	"nestedtx/internal/tree"
+)
+
+func ev(k event.Kind, t tree.TID, v ...event.Value) event.Event {
+	e := event.Event{Kind: k, T: t}
+	if len(v) > 0 {
+		e.Value = v[0]
+	}
+	return e
+}
+
+// handType builds the register system used by the hand-written schedules.
+func handType(t testing.TB) *event.SystemType {
+	st := event.NewSystemType()
+	st.DefineObject("X", adt.NewRegister(int64(0)))
+	st.MustDefineAccess("T0.0.0", "X", adt.RegWrite{V: int64(7)})
+	st.MustDefineAccess("T0.1.0", "X", adt.RegRead{})
+	return st
+}
+
+// TestHandInterleaving: a classic concurrent schedule where two top-level
+// transactions interleave; the witness must reorder them into sequential
+// blocks whose object replay matches the recorded values.
+func TestHandInterleaving(t *testing.T) {
+	st := handType(t)
+	alpha := event.Schedule{
+		ev(event.Create, "T0"),
+		ev(event.RequestCreate, "T0.0"),
+		ev(event.RequestCreate, "T0.1"),
+		ev(event.Create, "T0.0"),
+		ev(event.Create, "T0.1"),
+		ev(event.RequestCreate, "T0.0.0"),
+		ev(event.RequestCreate, "T0.1.0"),
+		ev(event.Create, "T0.0.0"),
+		ev(event.RequestCommit, "T0.0.0", int64(7)), // write 7, lock to T0.0 chain
+		ev(event.Commit, "T0.0.0"),
+		ev(event.InformCommitAt, "T0.0.0", event.Value(nil)),
+	}
+	// fix the Inform event (Object field, not value).
+	alpha[10] = event.Event{Kind: event.InformCommitAt, T: "T0.0.0", Object: "X"}
+	alpha = append(alpha,
+		ev(event.ReportCommit, "T0.0.0", int64(7)),
+		ev(event.RequestCommit, "T0.0", int64(1)),
+		ev(event.Commit, "T0.0"),
+		event.Event{Kind: event.InformCommitAt, T: "T0.0", Object: "X"},
+		ev(event.Create, "T0.1.0"),
+		ev(event.RequestCommit, "T0.1.0", int64(7)), // reads committed 7
+		ev(event.Commit, "T0.1.0"),
+		ev(event.ReportCommit, "T0.1.0", int64(7)),
+		ev(event.RequestCommit, "T0.1", int64(1)),
+		ev(event.Commit, "T0.1"),
+	)
+	if err := event.WFConcurrent(alpha, st); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Check(alpha, st, tree.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.Validate(w.Serial, st); err != nil {
+		t.Fatal(err)
+	}
+	// The witness must put T0.0 (the writer, which committed first)
+	// before T0.1's read so the read's recorded value 7 replays.
+	var sawWrite bool
+	for _, e := range w.Serial {
+		if e.Kind == event.RequestCommit && e.T == "T0.0.0" {
+			sawWrite = true
+		}
+		if e.Kind == event.RequestCommit && e.T == "T0.1.0" && !sawWrite {
+			t.Fatal("witness ordered the read before the write it observed")
+		}
+	}
+}
+
+// TestVisibilityHidesUncommittedSibling: T0.1 must not see T0.0's
+// uncommitted write; the witness for T0.1 contains no T0.0 events.
+func TestVisibilityHidesUncommittedSibling(t *testing.T) {
+	st := handType(t)
+	alpha := event.Schedule{
+		ev(event.Create, "T0"),
+		ev(event.RequestCreate, "T0.0"),
+		ev(event.RequestCreate, "T0.1"),
+		ev(event.Create, "T0.0"),
+		ev(event.Create, "T0.1"),
+		ev(event.RequestCreate, "T0.0.0"),
+		ev(event.Create, "T0.0.0"),
+		ev(event.RequestCommit, "T0.0.0", int64(7)), // uncommitted write
+		ev(event.RequestCreate, "T0.1.0"),
+	}
+	w, err := Check(alpha, st, "T0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range w.Serial {
+		if tr, ok := event.TransactionOf(e); ok && tree.TID("T0.0").IsAncestorOf(tr) && tr != "T0" {
+			t.Fatalf("uncommitted sibling subtree leaked into T0.1's view: %s", e)
+		}
+	}
+}
+
+// TestAbortInvisible: an aborted subtransaction's work is invisible; the
+// witness aborts it before creation, serial-scheduler style.
+func TestAbortInvisible(t *testing.T) {
+	st := handType(t)
+	alpha := event.Schedule{
+		ev(event.Create, "T0"),
+		ev(event.RequestCreate, "T0.0"),
+		ev(event.Create, "T0.0"),
+		ev(event.RequestCreate, "T0.0.0"),
+		ev(event.Create, "T0.0.0"),
+		ev(event.RequestCommit, "T0.0.0", int64(7)),
+		ev(event.Abort, "T0.0.0"), // abort after work
+		event.Event{Kind: event.InformAbortAt, T: "T0.0.0", Object: "X"},
+		ev(event.ReportAbort, "T0.0.0"),
+		ev(event.RequestCommit, "T0.0", int64(0)),
+		ev(event.Commit, "T0.0"),
+	}
+	w, err := Check(alpha, st, tree.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range w.Serial {
+		if e.T == "T0.0.0" && (e.Kind == event.Create || e.Kind == event.RequestCommit) {
+			t.Fatalf("aborted access's own events must not appear in the witness: %s", e)
+		}
+		if e.Kind == event.Abort && e.T != "T0.0.0" {
+			t.Fatalf("unexpected abort: %s", e)
+		}
+	}
+	// The witness still carries ABORT(T0.0.0) + REPORT_ABORT for T0.0's
+	// projection to match.
+	if !w.Serial.AtTransaction("T0.0").Equal(alpha.AtTransaction("T0.0")) {
+		t.Fatal("projection at T0.0 changed")
+	}
+}
+
+// TestNonSerializableRejected: a hand-built ill schedule (a read that
+// observed a value no serial order explains) must fail the check — the
+// checker is a verifier, not a rubber stamp.
+func TestNonSerializableRejected(t *testing.T) {
+	st := handType(t)
+	alpha := event.Schedule{
+		ev(event.Create, "T0"),
+		ev(event.RequestCreate, "T0.0"),
+		ev(event.RequestCreate, "T0.1"),
+		ev(event.Create, "T0.0"),
+		ev(event.Create, "T0.1"),
+		ev(event.RequestCreate, "T0.0.0"),
+		ev(event.RequestCreate, "T0.1.0"),
+		ev(event.Create, "T0.0.0"),
+		ev(event.Create, "T0.1.0"),
+		ev(event.RequestCommit, "T0.0.0", int64(7)), // write 7
+		ev(event.RequestCommit, "T0.1.0", int64(3)), // read claims 3: impossible
+		ev(event.Commit, "T0.0.0"),
+		ev(event.Commit, "T0.1.0"),
+		ev(event.ReportCommit, "T0.0.0", int64(7)),
+		ev(event.ReportCommit, "T0.1.0", int64(3)),
+		ev(event.RequestCommit, "T0.0", int64(1)),
+		ev(event.RequestCommit, "T0.1", int64(1)),
+		ev(event.Commit, "T0.0"),
+		ev(event.Commit, "T0.1"),
+	}
+	if _, err := Check(alpha, st, tree.Root); err == nil {
+		t.Fatal("impossible read value must fail verification")
+	}
+}
+
+// TestEmptySchedule and trivial cases.
+func TestTrivialSchedules(t *testing.T) {
+	st := handType(t)
+	w, err := Check(nil, st, tree.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Serial) != 0 {
+		t.Fatal("empty witness expected")
+	}
+	one := event.Schedule{ev(event.Create, "T0")}
+	if _, err := Check(one, st, tree.Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckAll(one, st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckAtDeepTransaction: serial correctness at an inner transaction,
+// not just the root.
+func TestCheckAtDeepTransaction(t *testing.T) {
+	st := handType(t)
+	alpha := event.Schedule{
+		ev(event.Create, "T0"),
+		ev(event.RequestCreate, "T0.0"),
+		ev(event.Create, "T0.0"),
+		ev(event.RequestCreate, "T0.0.0"),
+		ev(event.Create, "T0.0.0"),
+		ev(event.RequestCommit, "T0.0.0", int64(7)),
+		ev(event.Commit, "T0.0.0"),
+		ev(event.ReportCommit, "T0.0.0", int64(7)),
+	}
+	w, err := Check(alpha, st, "T0.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Serial.AtTransaction("T0.0").Equal(alpha.AtTransaction("T0.0")) {
+		t.Fatal("projection at T0.0 must be preserved")
+	}
+}

@@ -1,0 +1,56 @@
+package checker
+
+import (
+	"math/rand"
+	"testing"
+
+	"nestedtx/internal/core"
+	"nestedtx/internal/event"
+	"nestedtx/internal/system"
+)
+
+// FuzzTheorem34 lets the fuzzer steer system generation and driver
+// nondeterminism; every reachable concurrent schedule must verify. Run
+// with `go test -fuzz FuzzTheorem34 ./internal/checker` for an open-ended
+// search; the seed corpus runs as ordinary tests.
+func FuzzTheorem34(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), false)
+	f.Add(int64(2), uint8(30), uint8(1), false)
+	f.Add(int64(3), uint8(60), uint8(2), true)
+	f.Add(int64(-9), uint8(255), uint8(9), false)
+	f.Fuzz(func(t *testing.T, seed int64, abortPct, shape uint8, exclusive bool) {
+		cfg := system.GenConfig{
+			Objects:      1 + int(shape%4),
+			TopLevel:     1 + int(shape/4%4),
+			MaxDepth:     int(shape / 16 % 3),
+			MaxFanout:    1 + int(shape/48%3),
+			ReadFraction: float64(abortPct%101) / 100,
+			SubProb:      0.5,
+			SeqProb:      0.5,
+		}
+		rng := rand.New(rand.NewSource(seed))
+		sys, err := system.Generate(rng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mode := core.ReadWrite
+		if exclusive {
+			mode = core.Exclusive
+		}
+		sched, err := sys.RunConcurrent(system.DriverConfig{
+			Seed:      seed,
+			AbortProb: float64(abortPct%101) / 200, // 0..0.5
+			Mode:      mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := sys.SystemType()
+		if err := event.WFConcurrent(sched, st); err != nil {
+			t.Fatalf("ill-formed schedule: %v\n%s", err, sched)
+		}
+		if err := CheckAll(sched, st); err != nil {
+			t.Fatalf("Theorem 34 violated: %v\n%s", err, sched)
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package checker
+
+import (
+	"testing"
+
+	"nestedtx/internal/adt"
+	"nestedtx/internal/event"
+	"nestedtx/internal/tree"
+)
+
+// TestOrphanRestrictionIsNecessary exhibits why Theorem 34 excludes
+// orphans: an orphaned transaction can observe state no serial execution
+// explains. T0.0.1 reads X=0; T0.0 aborts (making the whole subtree
+// orphans, releasing its locks); T0.1 writes X=1 and commits; the orphan
+// then reads X=1. Two reads, different values, no write between them in
+// the orphan's world — non-serializable at the orphan, while every
+// non-orphan transaction still verifies.
+func TestOrphanRestrictionIsNecessary(t *testing.T) {
+	st := event.NewSystemType()
+	st.DefineObject("X", adt.NewRegister(int64(0)))
+	st.MustDefineAccess("T0.0.0", "X", adt.RegRead{})
+	st.MustDefineAccess("T0.0.1", "X", adt.RegRead{})
+	st.MustDefineAccess("T0.1.0", "X", adt.RegWrite{V: int64(1)})
+
+	alpha := event.Schedule{
+		{Kind: event.Create, T: "T0"},
+		{Kind: event.RequestCreate, T: "T0.0"},
+		{Kind: event.RequestCreate, T: "T0.1"},
+		{Kind: event.Create, T: "T0.0"},
+		{Kind: event.Create, T: "T0.1"},
+		{Kind: event.RequestCreate, T: "T0.0.0"},
+		{Kind: event.RequestCreate, T: "T0.0.1"},
+		{Kind: event.Create, T: "T0.0.0"},
+		{Kind: event.RequestCommit, T: "T0.0.0", Value: int64(0)}, // first read: 0
+		{Kind: event.Commit, T: "T0.0.0"},
+		{Kind: event.InformCommitAt, T: "T0.0.0", Object: "X"},
+		{Kind: event.ReportCommit, T: "T0.0.0", Value: int64(0)},
+		// The parent aborts: T0.0's subtree becomes orphans, read lock
+		// released.
+		{Kind: event.Abort, T: "T0.0"},
+		{Kind: event.InformAbortAt, T: "T0.0", Object: "X"},
+		// A sibling writes 1 and commits all the way.
+		{Kind: event.RequestCreate, T: "T0.1.0"},
+		{Kind: event.Create, T: "T0.1.0"},
+		{Kind: event.RequestCommit, T: "T0.1.0", Value: int64(1)},
+		{Kind: event.Commit, T: "T0.1.0"},
+		{Kind: event.InformCommitAt, T: "T0.1.0", Object: "X"},
+		{Kind: event.ReportCommit, T: "T0.1.0", Value: int64(1)},
+		{Kind: event.RequestCommit, T: "T0.1", Value: int64(1)},
+		{Kind: event.Commit, T: "T0.1"},
+		{Kind: event.InformCommitAt, T: "T0.1", Object: "X"},
+		// The orphan's second access now runs and sees the new value.
+		{Kind: event.Create, T: "T0.0.1"},
+		{Kind: event.RequestCommit, T: "T0.0.1", Value: int64(1)}, // second read: 1
+	}
+	// Sanity: this is a well-formed concurrent schedule and M(X) accepts
+	// its projection (orphans may run in R/W Locking systems).
+	if err := event.WFConcurrent(alpha, st); err != nil {
+		t.Fatal(err)
+	}
+
+	// The orphan's view is NOT serially correct: Check refuses orphans by
+	// definition, and even the raw rearrangement of its visible events
+	// cannot replay (read 0 then read 1 with no visible write).
+	if !alpha.IsOrphan("T0.0") {
+		t.Fatal("T0.0 should be an orphan")
+	}
+	if _, err := Check(alpha, st, "T0.0"); err == nil {
+		t.Fatal("checker must refuse the orphan")
+	}
+
+	// Every non-orphan transaction still verifies (Theorem 34).
+	if err := CheckAll(alpha, st); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []tree.TID{tree.Root, "T0.1"} {
+		if _, err := Check(alpha, st, u); err != nil {
+			t.Fatalf("non-orphan %s must verify: %v", u, err)
+		}
+	}
+}

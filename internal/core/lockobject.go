@@ -1,0 +1,315 @@
+// Package core implements the paper's primary contribution: the R/W
+// Locking object M(X) of §5.1, Moss' read/write locking algorithm extended
+// with the state-restoration data needed to recover from aborts.
+//
+// M(X) is a resilient, lock-managing variant of basic object X. It keeps
+// two lock tables (read-lockholders and write-lockholders), and a map from
+// write-lockholders to versions of X's state. A response to an access T is
+// enabled only when every holder of a conflicting lock is an ancestor of T;
+// the value is computed against the version of the least (deepest)
+// write-lockholder. INFORM_COMMIT passes locks — and the stored version —
+// to the parent; INFORM_ABORT discards the locks and versions of the
+// aborted transaction's descendants.
+//
+// Designating every access a write access degenerates the algorithm into
+// exclusive locking (the system of [LM]); Mode selects this behaviour for
+// the baseline used in the experiments.
+package core
+
+import (
+	"fmt"
+
+	"nestedtx/internal/adt"
+	"nestedtx/internal/event"
+	"nestedtx/internal/tree"
+)
+
+// Mode selects how accesses are classified.
+type Mode int
+
+const (
+	// ReadWrite follows the access classification of the system type: ops
+	// with ReadOnly()==true take read locks.
+	ReadWrite Mode = iota
+	// Exclusive treats every access as a write access. Per §4.3, Moss'
+	// algorithm then degenerates into exclusive locking.
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "exclusive"
+	}
+	return "read-write"
+}
+
+// LockObject is the automaton M(X).
+type LockObject struct {
+	st   *event.SystemType
+	x    string
+	mode Mode
+
+	writeLockholders tree.Set
+	readLockholders  tree.Set
+	createRequested  tree.Set
+	run              tree.Set
+	// versions is the paper's "map": a function from write-lockholders to
+	// states of basic object X (here: the data-type instance).
+	versions map[tree.TID]adt.State
+}
+
+// NewLockObject returns M(x) in its initial state: write-lockholders =
+// {T0} with map(T0) an initial state of X, all other components empty.
+func NewLockObject(st *event.SystemType, x string, mode Mode) (*LockObject, error) {
+	init, ok := st.ObjectInitial(x)
+	if !ok {
+		return nil, fmt.Errorf("core: object %q not defined in system type", x)
+	}
+	return &LockObject{
+		st:               st,
+		x:                x,
+		mode:             mode,
+		writeLockholders: tree.NewSet(tree.Root),
+		readLockholders:  tree.NewSet(),
+		createRequested:  tree.NewSet(),
+		run:              tree.NewSet(),
+		versions:         map[tree.TID]adt.State{tree.Root: init},
+	}, nil
+}
+
+// Name returns X's name.
+func (m *LockObject) Name() string { return m.x }
+
+// Mode returns the classification mode.
+func (m *LockObject) Mode() Mode { return m.mode }
+
+// WriteLockholders returns a copy of the write-lock table.
+func (m *LockObject) WriteLockholders() tree.Set { return m.writeLockholders.Clone() }
+
+// ReadLockholders returns a copy of the read-lock table.
+func (m *LockObject) ReadLockholders() tree.Set { return m.readLockholders.Clone() }
+
+// Version returns the stored version for write-lockholder t.
+func (m *LockObject) Version(t tree.TID) (adt.State, bool) {
+	s, ok := m.versions[t]
+	return s, ok
+}
+
+// CurrentState returns what Moss calls "the current state of X": the
+// version stored for the least write-lockholder.
+func (m *LockObject) CurrentState() adt.State {
+	least, ok := m.writeLockholders.Least()
+	if !ok {
+		// Unreachable when the automaton is used through its operations:
+		// the root's lock is never removed (INFORMs are for T != T0).
+		panic("core: no write-lockholders")
+	}
+	return m.versions[least]
+}
+
+// isWrite reports whether access t takes a write lock under the mode.
+func (m *LockObject) isWrite(t tree.TID) bool {
+	if m.mode == Exclusive {
+		return true
+	}
+	return m.st.IsWriteAccess(t)
+}
+
+// Create handles the input CREATE(t) for an access t to X.
+func (m *LockObject) Create(t tree.TID) error {
+	a, ok := m.st.AccessInfo(t)
+	if !ok || a.Object != m.x {
+		return fmt.Errorf("core: M(%s): CREATE(%s): not an access to this object", m.x, t)
+	}
+	m.createRequested.Add(t)
+	return nil
+}
+
+// InformCommit handles INFORM_COMMIT_AT(X)OF(t): locks held by t (and its
+// stored version, if a write lock) pass to parent(t).
+func (m *LockObject) InformCommit(t tree.TID) error {
+	if t == tree.Root {
+		return fmt.Errorf("core: M(%s): INFORM_COMMIT for the root", m.x)
+	}
+	if m.writeLockholders.Has(t) {
+		p := t.Parent()
+		m.writeLockholders.Remove(t)
+		m.writeLockholders.Add(p)
+		m.versions[p] = m.versions[t]
+		delete(m.versions, t)
+	}
+	if m.readLockholders.Has(t) {
+		m.readLockholders.Remove(t)
+		m.readLockholders.Add(t.Parent())
+	}
+	return nil
+}
+
+// InformAbort handles INFORM_ABORT_AT(X)OF(t): all locks (and versions)
+// held by descendants of t are discarded.
+func (m *LockObject) InformAbort(t tree.TID) error {
+	if t == tree.Root {
+		return fmt.Errorf("core: M(%s): INFORM_ABORT for the root", m.x)
+	}
+	for u := range m.writeLockholders {
+		if u.IsDescendantOf(t) {
+			m.writeLockholders.Remove(u)
+			delete(m.versions, u)
+		}
+	}
+	m.readLockholders.RemoveDescendantsOf(t)
+	return nil
+}
+
+// RespondEnabled checks the precondition of REQUEST_COMMIT(t,·): t must be
+// created but not run, and every holder of a conflicting lock must be an
+// ancestor of t. The returned error explains the blocking holder.
+func (m *LockObject) RespondEnabled(t tree.TID) error {
+	if !m.createRequested.Has(t) || m.run.Has(t) {
+		return fmt.Errorf("core: M(%s): %s not in create-requested minus run", m.x, t)
+	}
+	if m.isWrite(t) {
+		// Write access: all lockholders (read and write) must be ancestors.
+		for u := range m.writeLockholders {
+			if !u.IsAncestorOf(t) {
+				return fmt.Errorf("core: M(%s): write lock held by non-ancestor %s", m.x, u)
+			}
+		}
+		for u := range m.readLockholders {
+			if !u.IsAncestorOf(t) {
+				return fmt.Errorf("core: M(%s): read lock held by non-ancestor %s", m.x, u)
+			}
+		}
+		return nil
+	}
+	// Read access: only write-lockholders conflict.
+	for u := range m.writeLockholders {
+		if !u.IsAncestorOf(t) {
+			return fmt.Errorf("core: M(%s): write lock held by non-ancestor %s", m.x, u)
+		}
+	}
+	return nil
+}
+
+// Respond performs the output REQUEST_COMMIT(t,v): it computes v against
+// the current state, grants t its lock, and (for writes) stores the
+// resulting version as map(t).
+func (m *LockObject) Respond(t tree.TID) (event.Event, error) {
+	if err := m.RespondEnabled(t); err != nil {
+		return event.Event{}, err
+	}
+	a, _ := m.st.AccessInfo(t)
+	next, v := a.Op.Apply(m.CurrentState())
+	m.run.Add(t)
+	if m.isWrite(t) {
+		m.writeLockholders.Add(t)
+		m.versions[t] = next
+	} else {
+		m.readLockholders.Add(t)
+		// Read accesses leave the stored state untouched; the semantic
+		// conditions (§4.3) make next == current, but we deliberately do
+		// not store it, exactly as the paper's postcondition specifies.
+	}
+	return event.Event{Kind: event.RequestCommit, T: t, Value: v}, nil
+}
+
+// EnabledAccesses returns the created-but-unresponded accesses whose
+// REQUEST_COMMIT is currently enabled.
+func (m *LockObject) EnabledAccesses() []tree.TID {
+	var out []tree.TID
+	for t := range m.createRequested {
+		if !m.run.Has(t) && m.RespondEnabled(t) == nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// PendingAccesses returns the created-but-unresponded accesses (enabled or
+// not).
+func (m *LockObject) PendingAccesses() []tree.TID {
+	var out []tree.TID
+	for t := range m.createRequested {
+		if !m.run.Has(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Step applies one event of M(X)'s signature, checking legality. For
+// REQUEST_COMMIT(t,v) the value must equal what the automaton would output.
+func (m *LockObject) Step(e event.Event) error {
+	switch e.Kind {
+	case event.Create:
+		return m.Create(e.T)
+	case event.InformCommitAt:
+		if e.Object != m.x {
+			return fmt.Errorf("core: M(%s): %s: wrong object", m.x, e)
+		}
+		return m.InformCommit(e.T)
+	case event.InformAbortAt:
+		if e.Object != m.x {
+			return fmt.Errorf("core: M(%s): %s: wrong object", m.x, e)
+		}
+		return m.InformAbort(e.T)
+	case event.RequestCommit:
+		if err := m.RespondEnabled(e.T); err != nil {
+			return err
+		}
+		// Peek at the value before mutating, so a mismatch leaves the
+		// automaton state untouched.
+		a, _ := m.st.AccessInfo(e.T)
+		if _, v := a.Op.Apply(m.CurrentState()); v != e.Value {
+			return fmt.Errorf("core: M(%s): %s: value mismatch (automaton outputs %v)", m.x, e, v)
+		}
+		_, err := m.Respond(e.T)
+		return err
+	default:
+		return fmt.Errorf("core: M(%s): %s: not an operation of a R/W Locking object", m.x, e)
+	}
+}
+
+// Replay checks whether s is a schedule of M(x) (s should be the
+// projection at M(x)); it returns the automaton reached.
+func Replay(st *event.SystemType, x string, mode Mode, s event.Schedule) (*LockObject, error) {
+	m, err := NewLockObject(st, x, mode)
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range s {
+		if err := m.Step(e); err != nil {
+			return nil, fmt.Errorf("core: replay step %d: %w", i, err)
+		}
+	}
+	return m, nil
+}
+
+// CheckLockInvariants verifies the structural invariants of the lock
+// tables: Lemma 21 (every write-lockholder is related by ancestry to every
+// other lockholder — in particular the write table is a chain), and that
+// versions is defined exactly on the write table.
+func (m *LockObject) CheckLockInvariants() error {
+	if !m.writeLockholders.IsChain() {
+		return fmt.Errorf("core: M(%s): write-lockholders %v not a chain (Lemma 21 violated)",
+			m.x, m.writeLockholders.Members())
+	}
+	for w := range m.writeLockholders {
+		for r := range m.readLockholders {
+			if !w.IsAncestorOf(r) && !r.IsAncestorOf(w) {
+				return fmt.Errorf("core: M(%s): write-lockholder %s unrelated to read-lockholder %s (Lemma 21 violated)",
+					m.x, w, r)
+			}
+		}
+	}
+	if len(m.versions) != m.writeLockholders.Len() {
+		return fmt.Errorf("core: M(%s): versions defined on %d names, %d write-lockholders",
+			m.x, len(m.versions), m.writeLockholders.Len())
+	}
+	for w := range m.writeLockholders {
+		if _, ok := m.versions[w]; !ok {
+			return fmt.Errorf("core: M(%s): write-lockholder %s has no version", m.x, w)
+		}
+	}
+	return nil
+}

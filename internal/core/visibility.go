@@ -1,0 +1,83 @@
+package core
+
+import (
+	"nestedtx/internal/event"
+	"nestedtx/internal/tree"
+)
+
+// CommittedAtX reports whether access t is committed at X to ancestor anc
+// in sequence s of M(X)-operations (§5.1): s contains a subsequence of
+// INFORM_COMMIT_AT(X)OF(U) events for every U that is an ancestor of t and
+// a proper descendant of anc, arranged in ascending order (the INFORM for
+// parent(U) preceded by the one for U).
+func CommittedAtX(s event.Schedule, x string, t, anc tree.TID) bool {
+	if !anc.IsAncestorOf(t) {
+		return false
+	}
+	// The required ancestors of t, deepest first: t, parent(t), ... up to
+	// (but excluding) anc.
+	var need []tree.TID
+	for u := t; u != anc; u = u.Parent() {
+		need = append(need, u)
+	}
+	// Scan s looking for the INFORM_COMMITs in that (ascending) order.
+	i := 0
+	for _, e := range s {
+		if i == len(need) {
+			break
+		}
+		if e.Kind == event.InformCommitAt && e.Object == x && e.T == need[i] {
+			i++
+		}
+	}
+	return i == len(need)
+}
+
+// VisibleAtX reports whether access t is visible at X to t' in s: t is
+// committed at X to lca(t,t').
+func VisibleAtX(s event.Schedule, x string, t, tPrime tree.TID) bool {
+	return CommittedAtX(s, x, t, tree.LCA(t, tPrime))
+}
+
+// VisibleX returns visible_X(s,t): the subsequence of operations of M(X)
+// in s whose transactions are visible at X to t. Access operations
+// (CREATE/REQUEST_COMMIT of an access U) are kept when U is visible at X
+// to t; INFORM events are not access operations and are dropped, so the
+// result is a sequence of basic-object operations, as in Lemma 24.
+func VisibleX(s event.Schedule, st *event.SystemType, x string, t tree.TID) event.Schedule {
+	return s.Filter(func(e event.Event) bool {
+		if e.Kind != event.Create && e.Kind != event.RequestCommit {
+			return false
+		}
+		a, ok := st.AccessInfo(e.T)
+		if !ok || a.Object != x {
+			return false
+		}
+		return VisibleAtX(s, x, e.T, t)
+	})
+}
+
+// OrphanAtX reports whether t is an orphan at X in s:
+// INFORM_ABORT_AT(X)OF(U) occurs for some ancestor U of t.
+func OrphanAtX(s event.Schedule, x string, t tree.TID) bool {
+	for _, e := range s {
+		if e.Kind == event.InformAbortAt && e.Object == x && e.T.IsAncestorOf(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Essence returns essence(β) (§5.1): the sequence obtained from write(β)
+// by placing a CREATE(U) event immediately before each
+// REQUEST_COMMIT(U,u) event. essence(β) is write-equal to β and, by the
+// semantic conditions, equieffective to it.
+func Essence(s event.Schedule, st *event.SystemType) event.Schedule {
+	w := s.Write(st)
+	out := make(event.Schedule, 0, 2*len(w))
+	for _, e := range w {
+		out = append(out, event.Event{Kind: event.Create, T: e.T})
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,488 @@
+// Package event defines the operations and schedules of the paper's model.
+//
+// Systems are compositions of I/O automata; we concentrate analysis on the
+// sequence of operations performed — the schedule. The nine operation kinds
+// are those of §3 and §5: the five transaction-interface operations
+// (CREATE, REQUEST_CREATE, REQUEST_COMMIT, REPORT_COMMIT, REPORT_ABORT),
+// the scheduler's internal return operations (COMMIT, ABORT), and the two
+// lock-object notifications (INFORM_COMMIT_AT(X), INFORM_ABORT_AT(X)).
+//
+// The package also implements the paper's derived notions on sequences:
+// projections (α|T, α|X), transaction(π), visibility (visible(α,T)),
+// orphanhood, the write subsequence and write-equality, and the
+// well-formedness conditions for transactions (§3.1), basic objects (§3.2)
+// and R/W Locking objects (§5.1).
+package event
+
+import (
+	"fmt"
+	"strings"
+
+	"nestedtx/internal/adt"
+	"nestedtx/internal/tree"
+)
+
+// Kind enumerates the operation kinds.
+type Kind int
+
+// The operation kinds, in the paper's vocabulary.
+const (
+	// Create wakes up a transaction (input of the transaction, output of a
+	// scheduler). For an access transaction it is the invocation of an
+	// operation on the object.
+	Create Kind = iota
+	// RequestCreate is a request by a parent to create a child.
+	RequestCreate
+	// RequestCommit announces a transaction has finished, with a value.
+	// For an access it is the object's response to the invocation.
+	RequestCommit
+	// Commit is the scheduler's irrevocable decision that a transaction
+	// commits.
+	Commit
+	// Abort is the scheduler's irrevocable decision that a transaction
+	// aborts.
+	Abort
+	// ReportCommit reports a child's commit (with its value) to the parent.
+	ReportCommit
+	// ReportAbort reports a child's abort to the parent.
+	ReportAbort
+	// InformCommitAt informs a R/W Locking object of a commit.
+	InformCommitAt
+	// InformAbortAt informs a R/W Locking object of an abort.
+	InformAbortAt
+)
+
+var kindNames = [...]string{
+	Create:         "CREATE",
+	RequestCreate:  "REQUEST_CREATE",
+	RequestCommit:  "REQUEST_COMMIT",
+	Commit:         "COMMIT",
+	Abort:          "ABORT",
+	ReportCommit:   "REPORT_COMMIT",
+	ReportAbort:    "REPORT_ABORT",
+	InformCommitAt: "INFORM_COMMIT_AT",
+	InformAbortAt:  "INFORM_ABORT_AT",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Value is a transaction return value; see adt.Value.
+type Value = adt.Value
+
+// Event is one operation instance in a schedule.
+type Event struct {
+	Kind Kind
+	// T is the transaction the operation concerns: CREATE(T),
+	// REQUEST_CREATE(T), REQUEST_COMMIT(T,v), COMMIT(T), ABORT(T),
+	// REPORT_COMMIT(T,v), REPORT_ABORT(T), INFORM_*_AT(X)OF(T).
+	T tree.TID
+	// Value accompanies RequestCommit and ReportCommit.
+	Value Value
+	// Object names X for InformCommitAt / InformAbortAt.
+	Object string
+}
+
+// String renders the event in the paper's notation.
+func (e Event) String() string {
+	switch e.Kind {
+	case RequestCommit, ReportCommit:
+		return fmt.Sprintf("%s(%s,%v)", e.Kind, e.T, e.Value)
+	case InformCommitAt, InformAbortAt:
+		return fmt.Sprintf("%s(%s)OF(%s)", e.Kind, e.Object, e.T)
+	default:
+		return fmt.Sprintf("%s(%s)", e.Kind, e.T)
+	}
+}
+
+// TransactionOf returns transaction(π) as defined in §3.4: CREATE(T) and
+// REQUEST_COMMIT(T,v) belong to T; REQUEST_CREATE(T'), COMMIT(T'),
+// ABORT(T'), REPORT_COMMIT(T',v) and REPORT_ABORT(T') belong to
+// parent(T'). INFORM operations belong to no transaction (ok=false).
+func TransactionOf(e Event) (tree.TID, bool) {
+	switch e.Kind {
+	case Create, RequestCommit:
+		return e.T, true
+	case RequestCreate, Commit, Abort, ReportCommit, ReportAbort:
+		return e.T.Parent(), true
+	default:
+		return "", false
+	}
+}
+
+// Schedule is a finite sequence of events.
+type Schedule []Event
+
+// String renders the schedule one event per line.
+func (s Schedule) String() string {
+	var b strings.Builder
+	for i, e := range s {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.String())
+	}
+	return b.String()
+}
+
+// Clone returns a copy of the schedule.
+func (s Schedule) Clone() Schedule {
+	c := make(Schedule, len(s))
+	copy(c, s)
+	return c
+}
+
+// Filter returns the subsequence of events satisfying keep.
+func (s Schedule) Filter(keep func(Event) bool) Schedule {
+	var out Schedule
+	for _, e := range s {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two schedules are identical event sequences.
+func (s Schedule) Equal(t Schedule) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SystemType fixes the pattern of nesting relevant to a run: which leaf
+// names are accesses, which object each access touches and which operation
+// it performs, and the initial state of each object. It is the executable
+// counterpart of the paper's "system type" (§3); the rest of the infinite
+// tree is implicit.
+type SystemType struct {
+	objects  map[string]adt.State
+	accesses map[tree.TID]Access
+	// interior holds every proper ancestor of every access, so the
+	// accesses-are-leaves invariant is checkable in O(depth) rather than
+	// by scanning all accesses (managers define accesses dynamically, one
+	// per runtime operation, so this is on the hot path).
+	interior map[tree.TID]struct{}
+}
+
+// Access describes one access transaction: the object it touches and the
+// data-type operation it applies. The access is a read access exactly when
+// Op.ReadOnly() is true.
+type Access struct {
+	Object string
+	Op     adt.Op
+}
+
+// NewSystemType returns an empty system type.
+func NewSystemType() *SystemType {
+	return &SystemType{
+		objects:  make(map[string]adt.State),
+		accesses: make(map[tree.TID]Access),
+		interior: make(map[tree.TID]struct{}),
+	}
+}
+
+// DefineObject declares object x with initial state init.
+func (st *SystemType) DefineObject(x string, init adt.State) {
+	st.objects[x] = init
+}
+
+// DefineAccess declares t as an access to object x applying op. The object
+// must already be defined and t must not already be an access or have
+// descendants that are accesses (accesses are leaves).
+func (st *SystemType) DefineAccess(t tree.TID, x string, op adt.Op) error {
+	if _, ok := st.objects[x]; !ok {
+		return fmt.Errorf("event: DefineAccess(%s): object %q not defined", t, x)
+	}
+	if _, ok := st.accesses[t]; ok {
+		return fmt.Errorf("event: DefineAccess(%s): already an access", t)
+	}
+	if _, ok := st.interior[t]; ok {
+		return fmt.Errorf("event: DefineAccess(%s): an access lies below it (accesses are leaves)", t)
+	}
+	anc := t.ProperAncestors()
+	for _, u := range anc {
+		if _, ok := st.accesses[u]; ok {
+			return fmt.Errorf("event: DefineAccess(%s): conflicts with access %s (accesses are leaves)", t, u)
+		}
+	}
+	st.accesses[t] = Access{Object: x, Op: op}
+	for _, u := range anc {
+		st.interior[u] = struct{}{}
+	}
+	return nil
+}
+
+// MustDefineAccess is DefineAccess, panicking on error (for tests and
+// statically-known workloads).
+func (st *SystemType) MustDefineAccess(t tree.TID, x string, op adt.Op) {
+	if err := st.DefineAccess(t, x, op); err != nil {
+		panic(err)
+	}
+}
+
+// IsAccess reports whether t is an access.
+func (st *SystemType) IsAccess(t tree.TID) bool {
+	_, ok := st.accesses[t]
+	return ok
+}
+
+// AccessInfo returns the access description for t.
+func (st *SystemType) AccessInfo(t tree.TID) (Access, bool) {
+	a, ok := st.accesses[t]
+	return a, ok
+}
+
+// IsReadAccess reports whether t is an access whose operation is read-only.
+func (st *SystemType) IsReadAccess(t tree.TID) bool {
+	a, ok := st.accesses[t]
+	return ok && a.Op.ReadOnly()
+}
+
+// IsWriteAccess reports whether t is an access whose operation may write.
+func (st *SystemType) IsWriteAccess(t tree.TID) bool {
+	a, ok := st.accesses[t]
+	return ok && !a.Op.ReadOnly()
+}
+
+// ObjectInitial returns object x's initial state.
+func (st *SystemType) ObjectInitial(x string) (adt.State, bool) {
+	s, ok := st.objects[x]
+	return s, ok
+}
+
+// Objects returns the declared object names (unspecified order).
+func (st *SystemType) Objects() []string {
+	out := make([]string, 0, len(st.objects))
+	for x := range st.objects {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Accesses returns the declared access names (unspecified order).
+func (st *SystemType) Accesses() []tree.TID {
+	out := make([]tree.TID, 0, len(st.accesses))
+	for t := range st.accesses {
+		out = append(out, t)
+	}
+	return out
+}
+
+// AtTransaction returns α|T: the subsequence of events that are operations
+// of transaction automaton T — CREATE(T), REQUEST_COMMIT(T,v) and, for
+// non-access T, REQUEST_CREATE(T') and report events for children T'.
+func (s Schedule) AtTransaction(t tree.TID) Schedule {
+	return s.Filter(func(e Event) bool { return isOpOfTransaction(e, t) })
+}
+
+func isOpOfTransaction(e Event, t tree.TID) bool {
+	switch e.Kind {
+	case Create, RequestCommit:
+		return e.T == t
+	case RequestCreate, ReportCommit, ReportAbort:
+		return e.T.Parent() == t
+	default:
+		return false
+	}
+}
+
+// AtObject returns α|X for basic object X: CREATE(T) and
+// REQUEST_COMMIT(T,v) events for accesses T to X.
+func (s Schedule) AtObject(st *SystemType, x string) Schedule {
+	return s.Filter(func(e Event) bool {
+		if e.Kind != Create && e.Kind != RequestCommit {
+			return false
+		}
+		a, ok := st.accesses[e.T]
+		return ok && a.Object == x
+	})
+}
+
+// AtLockObject returns α|M(X): the basic-object operations of X plus the
+// INFORM_COMMIT_AT(X) and INFORM_ABORT_AT(X) events.
+func (s Schedule) AtLockObject(st *SystemType, x string) Schedule {
+	return s.Filter(func(e Event) bool {
+		switch e.Kind {
+		case Create, RequestCommit:
+			a, ok := st.accesses[e.T]
+			return ok && a.Object == x
+		case InformCommitAt, InformAbortAt:
+			return e.Object == x
+		default:
+			return false
+		}
+	})
+}
+
+// CommittedTo reports whether t is committed to ancestor anc in s:
+// COMMIT(U) occurs for every U that is an ancestor of t and a proper
+// descendant of anc (§3.4). Every transaction is trivially committed to
+// itself.
+func (s Schedule) CommittedTo(t, anc tree.TID) bool {
+	if !anc.IsAncestorOf(t) {
+		return false
+	}
+	need := make(map[tree.TID]bool)
+	for _, u := range t.Ancestors() {
+		if u.IsProperDescendantOf(anc) {
+			need[u] = false
+		}
+	}
+	for _, e := range s {
+		if e.Kind == Commit {
+			if _, ok := need[e.T]; ok {
+				need[e.T] = true
+			}
+		}
+	}
+	for _, done := range need {
+		if !done {
+			return false
+		}
+	}
+	return true
+}
+
+// VisibleTo reports whether t' is visible to t in s: t' is committed to
+// lca(t',t).
+func (s Schedule) VisibleTo(tPrime, t tree.TID) bool {
+	return s.CommittedTo(tPrime, tree.LCA(tPrime, t))
+}
+
+// Visible returns visible(s, t): the subsequence of events π whose
+// transaction(π) is visible to t. INFORM events (which belong to no
+// transaction) are excluded, matching the paper's definition.
+func (s Schedule) Visible(t tree.TID) Schedule {
+	// Compute the commit set once, then test visibility per transaction
+	// with memoization — visibility queries share ancestor commit checks.
+	committed := make(map[tree.TID]bool)
+	for _, e := range s {
+		if e.Kind == Commit {
+			committed[e.T] = true
+		}
+	}
+	memo := make(map[tree.TID]bool)
+	var visible func(u tree.TID) bool
+	visible = func(u tree.TID) bool {
+		if v, ok := memo[u]; ok {
+			return v
+		}
+		l := tree.LCA(u, t)
+		ok := true
+		for _, a := range u.Ancestors() {
+			if a.IsProperDescendantOf(l) && !committed[a] {
+				ok = false
+				break
+			}
+		}
+		memo[u] = ok
+		return ok
+	}
+	return s.Filter(func(e Event) bool {
+		u, ok := TransactionOf(e)
+		return ok && visible(u)
+	})
+}
+
+// IsOrphan reports whether t is an orphan in s: ABORT(U) occurs for some
+// ancestor U of t.
+func (s Schedule) IsOrphan(t tree.TID) bool {
+	anc := t.Ancestors()
+	for _, e := range s {
+		if e.Kind == Abort {
+			for _, u := range anc {
+				if e.T == u {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// IsLive reports whether t is live in s: CREATE(T) occurs but no return
+// (COMMIT/ABORT) for T occurs (§3.4).
+func (s Schedule) IsLive(t tree.TID) bool {
+	created := false
+	for _, e := range s {
+		if e.T == t {
+			switch e.Kind {
+			case Create:
+				created = true
+			case Commit, Abort:
+				return false
+			}
+		}
+	}
+	return created
+}
+
+// Write returns write(s): the subsequence of REQUEST_COMMIT(T,v) events
+// for write accesses T (§4.3).
+func (s Schedule) Write(st *SystemType) Schedule {
+	return s.Filter(func(e Event) bool {
+		return e.Kind == RequestCommit && st.IsWriteAccess(e.T)
+	})
+}
+
+// WriteEqual reports whether s and u are write-equal: write(s) == write(u).
+func WriteEqual(st *SystemType, s, u Schedule) bool {
+	return s.Write(st).Equal(u.Write(st))
+}
+
+// WriteEquivalent reports whether s and u are write-equivalent (§6.1):
+// they contain the same events, agree on every transaction projection, and
+// are write-equal at every object.
+func WriteEquivalent(st *SystemType, s, u Schedule) bool {
+	if len(s) != len(u) {
+		return false
+	}
+	if !sameMultiset(s, u) {
+		return false
+	}
+	// Transaction projections must agree. The transactions with events are
+	// exactly {transaction(π)}; compare those projections.
+	txs := make(map[tree.TID]struct{})
+	for _, e := range s {
+		if t, ok := TransactionOf(e); ok {
+			txs[t] = struct{}{}
+		}
+	}
+	for t := range txs {
+		if !s.AtTransaction(t).Equal(u.AtTransaction(t)) {
+			return false
+		}
+	}
+	// Write-equality per object.
+	for _, x := range st.Objects() {
+		if !s.AtObject(st, x).Write(st).Equal(u.AtObject(st, x).Write(st)) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameMultiset(s, u Schedule) bool {
+	count := make(map[Event]int, len(s))
+	for _, e := range s {
+		count[e]++
+	}
+	for _, e := range u {
+		count[e]--
+		if count[e] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,298 @@
+package event
+
+import (
+	"strings"
+	"testing"
+
+	"nestedtx/internal/adt"
+	"nestedtx/internal/tree"
+)
+
+func testType(t *testing.T) *SystemType {
+	t.Helper()
+	st := NewSystemType()
+	st.DefineObject("X", adt.NewRegister(int64(0)))
+	st.DefineObject("Y", adt.Counter{})
+	st.MustDefineAccess("T0.0.0", "X", adt.RegWrite{V: int64(1)})
+	st.MustDefineAccess("T0.0.1", "X", adt.RegRead{})
+	st.MustDefineAccess("T0.1.0", "Y", adt.CtrAdd{Delta: 2})
+	st.MustDefineAccess("T0.1.1", "Y", adt.CtrGet{})
+	return st
+}
+
+func TestTransactionOf(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want tree.TID
+		ok   bool
+	}{
+		{Event{Kind: Create, T: "T0.1"}, "T0.1", true},
+		{Event{Kind: RequestCommit, T: "T0.1", Value: int64(1)}, "T0.1", true},
+		{Event{Kind: RequestCreate, T: "T0.1.2"}, "T0.1", true},
+		{Event{Kind: Commit, T: "T0.1.2"}, "T0.1", true},
+		{Event{Kind: Abort, T: "T0.1.2"}, "T0.1", true},
+		{Event{Kind: ReportCommit, T: "T0.1.2"}, "T0.1", true},
+		{Event{Kind: ReportAbort, T: "T0.1.2"}, "T0.1", true},
+		{Event{Kind: InformCommitAt, T: "T0.1", Object: "X"}, "", false},
+		{Event{Kind: InformAbortAt, T: "T0.1", Object: "X"}, "", false},
+	}
+	for _, c := range cases {
+		got, ok := TransactionOf(c.e)
+		if got != c.want || ok != c.ok {
+			t.Errorf("TransactionOf(%s) = %q,%v want %q,%v", c.e, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Kind: Create, T: "T0.1"}, "CREATE(T0.1)"},
+		{Event{Kind: RequestCommit, T: "T0.1", Value: int64(3)}, "REQUEST_COMMIT(T0.1,3)"},
+		{Event{Kind: InformCommitAt, T: "T0.1", Object: "X"}, "INFORM_COMMIT_AT(X)OF(T0.1)"},
+		{Event{Kind: InformAbortAt, T: "T0.1", Object: "X"}, "INFORM_ABORT_AT(X)OF(T0.1)"},
+		{Event{Kind: ReportAbort, T: "T0.2"}, "REPORT_ABORT(T0.2)"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestProjections(t *testing.T) {
+	st := testType(t)
+	s := Schedule{
+		{Kind: Create, T: "T0"},
+		{Kind: RequestCreate, T: "T0.0"},
+		{Kind: Create, T: "T0.0"},
+		{Kind: RequestCreate, T: "T0.0.0"},
+		{Kind: Create, T: "T0.0.0"},
+		{Kind: RequestCommit, T: "T0.0.0", Value: int64(1)},
+		{Kind: Commit, T: "T0.0.0"},
+		{Kind: InformCommitAt, T: "T0.0.0", Object: "X"},
+		{Kind: ReportCommit, T: "T0.0.0", Value: int64(1)},
+		{Kind: RequestCommit, T: "T0.0", Value: int64(1)},
+	}
+	atT00 := s.AtTransaction("T0.0")
+	if len(atT00) != 4 {
+		t.Fatalf("α|T0.0 = %d events, want 4:\n%s", len(atT00), atT00)
+	}
+	atX := s.AtObject(st, "X")
+	if len(atX) != 2 {
+		t.Fatalf("α|X = %d events, want 2", len(atX))
+	}
+	atMX := s.AtLockObject(st, "X")
+	if len(atMX) != 3 {
+		t.Fatalf("α|M(X) = %d events, want 3", len(atMX))
+	}
+	if n := len(s.AtObject(st, "Y")); n != 0 {
+		t.Fatalf("α|Y = %d events, want 0", n)
+	}
+}
+
+func TestCommittedToAndVisibility(t *testing.T) {
+	s := Schedule{
+		{Kind: Create, T: "T0.0.0"},
+		{Kind: Commit, T: "T0.0.0"},
+	}
+	if !s.CommittedTo("T0.0.0", "T0.0") {
+		t.Error("T0.0.0 should be committed to its parent")
+	}
+	if s.CommittedTo("T0.0.0", "T0") {
+		t.Error("T0.0.0 is not committed to the root (T0.0 has not committed)")
+	}
+	if !s.CommittedTo("T0.0.0", "T0.0.0") {
+		t.Error("every transaction is committed to itself")
+	}
+	if s.CommittedTo("T0.0.0", "T0.1") {
+		t.Error("committed-to requires an ancestor")
+	}
+	// Visibility: T0.0.0 visible to T0.0.1 (lca = T0.0) but not to T0.1.
+	if !s.VisibleTo("T0.0.0", "T0.0.1") {
+		t.Error("T0.0.0 should be visible to its sibling under T0.0")
+	}
+	if s.VisibleTo("T0.0.0", "T0.1") {
+		t.Error("T0.0.0 must not be visible across an uncommitted boundary")
+	}
+	// Ancestors are always visible (Lemma 7.1).
+	if !s.VisibleTo("T0.0", "T0.0.0") {
+		t.Error("an ancestor is visible to its descendant")
+	}
+}
+
+func TestVisibleSubsequence(t *testing.T) {
+	s := Schedule{
+		{Kind: Create, T: "T0"},
+		{Kind: RequestCreate, T: "T0.0"},
+		{Kind: Create, T: "T0.0"},
+		{Kind: RequestCreate, T: "T0.1"},
+		{Kind: Create, T: "T0.1"},
+		{Kind: RequestCommit, T: "T0.1", Value: int64(0)},
+		{Kind: Commit, T: "T0.1"},
+		{Kind: InformCommitAt, T: "T0.1", Object: "X"},
+	}
+	vis := s.Visible("T0.0")
+	// T0.1's own events are visible only after COMMIT(T0.1)... the commit
+	// makes them visible: CREATE(T0.1) and REQUEST_COMMIT(T0.1) have
+	// transaction T0.1 which is committed to T0 = lca(T0.1, T0.0).
+	for _, e := range vis {
+		if e.Kind == InformCommitAt {
+			t.Error("INFORM events are never in visible()")
+		}
+	}
+	if len(vis) != 7 {
+		t.Fatalf("visible = %d events, want 7:\n%s", len(vis), vis)
+	}
+	// Without the commit, T0.1's events disappear.
+	s2 := s[:6]
+	vis2 := s2.Visible("T0.0")
+	for _, e := range vis2 {
+		if tr, _ := TransactionOf(e); tr == "T0.1" {
+			t.Errorf("uncommitted sibling event %s should be invisible", e)
+		}
+	}
+}
+
+func TestOrphanAndLive(t *testing.T) {
+	s := Schedule{
+		{Kind: Create, T: "T0.0"},
+		{Kind: Abort, T: "T0.0"},
+	}
+	if !s.IsOrphan("T0.0.3.4") {
+		t.Error("descendant of aborted transaction is an orphan")
+	}
+	if !s.IsOrphan("T0.0") {
+		t.Error("aborted transaction is its own orphan (self is an ancestor)")
+	}
+	if s.IsOrphan("T0.1") {
+		t.Error("sibling is not an orphan")
+	}
+	live := Schedule{{Kind: Create, T: "T0.2"}}
+	if !live.IsLive("T0.2") {
+		t.Error("created, unreturned transaction is live")
+	}
+	if live.IsLive("T0.3") {
+		t.Error("uncreated transaction is not live")
+	}
+	if s.IsLive("T0.0") {
+		t.Error("aborted transaction is not live")
+	}
+}
+
+func TestWriteAndWriteEqual(t *testing.T) {
+	st := testType(t)
+	s := Schedule{
+		{Kind: Create, T: "T0.0.0"},
+		{Kind: RequestCommit, T: "T0.0.0", Value: int64(1)}, // write
+		{Kind: Create, T: "T0.0.1"},
+		{Kind: RequestCommit, T: "T0.0.1", Value: int64(1)}, // read
+	}
+	w := s.Write(st)
+	if len(w) != 1 || w[0].T != "T0.0.0" {
+		t.Fatalf("write(α) = %v", w)
+	}
+	// Reordering reads preserves write-equality.
+	s2 := Schedule{s[2], s[3], s[0], s[1]}
+	if !WriteEqual(st, s, s2) {
+		t.Error("read reordering must be write-equal")
+	}
+	// Dropping the write event breaks it.
+	if WriteEqual(st, s, s[2:]) {
+		t.Error("missing write must break write-equality")
+	}
+}
+
+func TestWriteEquivalent(t *testing.T) {
+	st := testType(t)
+	s := Schedule{
+		{Kind: Create, T: "T0"},
+		{Kind: RequestCreate, T: "T0.0"},
+		{Kind: Create, T: "T0.0"},
+		{Kind: RequestCreate, T: "T0.0.0"},
+		{Kind: Create, T: "T0.0.0"},
+		{Kind: RequestCommit, T: "T0.0.0", Value: int64(1)},
+		{Kind: RequestCreate, T: "T0.1"},
+	}
+	// Swapping adjacent events of different transactions (T0.0.0's
+	// REQUEST_COMMIT and T0's REQUEST_CREATE) keeps all projections.
+	s2 := s.Clone()
+	s2[5], s2[6] = s2[6], s2[5]
+	if !WriteEquivalent(st, s, s2) {
+		t.Fatal("commuting events of different transactions preserves write-equivalence")
+	}
+	// Swapping events of the SAME transaction breaks it.
+	s3 := s.Clone()
+	s3[1], s3[6] = s3[6], s3[1] // both are T0's REQUEST_CREATEs
+	if WriteEquivalent(st, s, s3) {
+		t.Fatal("reordering one transaction's operations must break write-equivalence")
+	}
+	// Different multisets break it.
+	if WriteEquivalent(st, s, s[:6]) {
+		t.Fatal("different event sets must break write-equivalence")
+	}
+}
+
+func TestSystemTypeGuards(t *testing.T) {
+	st := NewSystemType()
+	st.DefineObject("X", adt.NewRegister(int64(0)))
+	if err := st.DefineAccess("T0.0", "missing", adt.RegRead{}); err == nil {
+		t.Error("access to undefined object must fail")
+	}
+	if err := st.DefineAccess("T0.0", "X", adt.RegRead{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DefineAccess("T0.0", "X", adt.RegRead{}); err == nil {
+		t.Error("duplicate access must fail")
+	}
+	if err := st.DefineAccess("T0.0.1", "X", adt.RegRead{}); err == nil {
+		t.Error("descendant of an access must fail (accesses are leaves)")
+	}
+	if err := st.DefineAccess("T0", "X", adt.RegRead{}); err == nil {
+		t.Error("ancestor of an access must fail")
+	}
+	if !st.IsAccess("T0.0") || st.IsAccess("T0.1") {
+		t.Error("IsAccess wrong")
+	}
+	if !st.IsReadAccess("T0.0") || st.IsWriteAccess("T0.0") {
+		t.Error("read/write classification wrong")
+	}
+}
+
+func TestScheduleStringAndClone(t *testing.T) {
+	s := Schedule{
+		{Kind: Create, T: "T0"},
+		{Kind: RequestCreate, T: "T0.0"},
+	}
+	str := s.String()
+	if !strings.Contains(str, "CREATE(T0)") || !strings.Contains(str, "\n") {
+		t.Errorf("String = %q", str)
+	}
+	c := s.Clone()
+	c[0].T = "T0.9"
+	if s[0].T != "T0" {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.Record(Event{Kind: Create, T: "T0"}) // must not panic
+	nilRec.RecordAll(Event{Kind: Create, T: "T0"})
+	if nilRec.Snapshot() != nil || nilRec.Len() != 0 {
+		t.Error("nil recorder must be inert")
+	}
+	r := NewRecorder()
+	r.Record(Event{Kind: Create, T: "T0"})
+	r.RecordAll(Event{Kind: RequestCreate, T: "T0.0"}, Event{Kind: Create, T: "T0.0"})
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	snap := r.Snapshot()
+	r.Record(Event{Kind: Abort, T: "T0.0"})
+	if len(snap) != 3 {
+		t.Error("Snapshot must not alias the live slice")
+	}
+}

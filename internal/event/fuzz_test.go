@@ -1,0 +1,48 @@
+package event
+
+import (
+	"testing"
+
+	"nestedtx/internal/adt"
+)
+
+// FuzzUnmarshalRun: arbitrary bytes must never panic; anything that
+// decodes must re-encode and decode to the same schedule.
+func FuzzUnmarshalRun(f *testing.F) {
+	st := NewSystemType()
+	st.DefineObject("R", adt.NewRegister(int64(3)))
+	st.MustDefineAccess("T0.0.0", "R", adt.RegWrite{V: int64(7)})
+	seed, err := MarshalRun(st, Schedule{
+		{Kind: Create, T: "T0"},
+		{Kind: RequestCreate, T: "T0.0"},
+		{Kind: Create, T: "T0.0.0"},
+		{Kind: RequestCommit, T: "T0.0.0", Value: int64(7)},
+		{Kind: InformCommitAt, T: "T0.0.0", Object: "R"},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"schedule":[{"kind":"CREATE","t":"T0"}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st1, s1, err := UnmarshalRun(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		re, err := MarshalRun(st1, s1)
+		if err != nil {
+			t.Fatalf("decoded run failed to re-encode: %v", err)
+		}
+		st2, s2, err := UnmarshalRun(re)
+		if err != nil {
+			t.Fatalf("re-encoded run failed to decode: %v", err)
+		}
+		if !s1.Equal(s2) {
+			t.Fatalf("schedule unstable across round-trip")
+		}
+		if len(st1.Objects()) != len(st2.Objects()) || len(st1.Accesses()) != len(st2.Accesses()) {
+			t.Fatalf("system type unstable across round-trip")
+		}
+	})
+}

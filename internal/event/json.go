@@ -1,0 +1,135 @@
+package event
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"nestedtx/internal/adt"
+	"nestedtx/internal/tree"
+)
+
+// Run is a self-contained persisted run: a system type (objects and
+// accesses) plus a schedule. Saved runs are regression artifacts — a
+// failing schedule can be stored and replayed through the checker later.
+type Run struct {
+	SystemType *SystemType
+	Schedule   Schedule
+}
+
+// wire forms ------------------------------------------------------------
+
+type wireEvent struct {
+	Kind   string          `json:"kind"`
+	T      string          `json:"t"`
+	Value  json.RawMessage `json:"value,omitempty"`
+	Object string          `json:"object,omitempty"`
+}
+
+type wireAccess struct {
+	T      string          `json:"t"`
+	Object string          `json:"object"`
+	Op     json.RawMessage `json:"op"`
+}
+
+type wireObject struct {
+	Name    string          `json:"name"`
+	Initial json.RawMessage `json:"initial"`
+}
+
+type wireRun struct {
+	Objects  []wireObject `json:"objects"`
+	Accesses []wireAccess `json:"accesses"`
+	Schedule []wireEvent  `json:"schedule"`
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = Kind(k)
+	}
+	return m
+}()
+
+// MarshalRun serialises a run. Only the adt library's ops, states and
+// values are supported (see adt codec).
+func MarshalRun(st *SystemType, s Schedule) ([]byte, error) {
+	var wr wireRun
+	for _, x := range st.Objects() {
+		init, _ := st.ObjectInitial(x)
+		raw, err := adt.EncodeState(init)
+		if err != nil {
+			return nil, fmt.Errorf("event: marshal object %s: %w", x, err)
+		}
+		wr.Objects = append(wr.Objects, wireObject{Name: x, Initial: raw})
+	}
+	for _, t := range st.Accesses() {
+		a, _ := st.AccessInfo(t)
+		raw, err := adt.EncodeOp(a.Op)
+		if err != nil {
+			return nil, fmt.Errorf("event: marshal access %s: %w", t, err)
+		}
+		wr.Accesses = append(wr.Accesses, wireAccess{T: string(t), Object: a.Object, Op: raw})
+	}
+	for _, e := range s {
+		we := wireEvent{Kind: e.Kind.String(), T: string(e.T), Object: e.Object}
+		if e.Kind == RequestCommit || e.Kind == ReportCommit {
+			raw, err := adt.EncodeValue(e.Value)
+			if err != nil {
+				return nil, fmt.Errorf("event: marshal %s: %w", e, err)
+			}
+			we.Value = raw
+		}
+		wr.Schedule = append(wr.Schedule, we)
+	}
+	return json.MarshalIndent(wr, "", " ")
+}
+
+// UnmarshalRun reverses MarshalRun.
+func UnmarshalRun(data []byte) (*SystemType, Schedule, error) {
+	var wr wireRun
+	if err := json.Unmarshal(data, &wr); err != nil {
+		return nil, nil, fmt.Errorf("event: unmarshal run: %w", err)
+	}
+	st := NewSystemType()
+	for _, o := range wr.Objects {
+		init, err := adt.DecodeState(o.Initial)
+		if err != nil {
+			return nil, nil, fmt.Errorf("event: object %s: %w", o.Name, err)
+		}
+		st.DefineObject(o.Name, init)
+	}
+	for _, a := range wr.Accesses {
+		op, err := adt.DecodeOp(a.Op)
+		if err != nil {
+			return nil, nil, fmt.Errorf("event: access %s: %w", a.T, err)
+		}
+		id := tree.TID(a.T)
+		if !id.Valid() {
+			return nil, nil, fmt.Errorf("event: access %q: invalid name", a.T)
+		}
+		if err := st.DefineAccess(id, a.Object, op); err != nil {
+			return nil, nil, err
+		}
+	}
+	var s Schedule
+	for i, we := range wr.Schedule {
+		k, ok := kindByName[we.Kind]
+		if !ok {
+			return nil, nil, fmt.Errorf("event: schedule[%d]: unknown kind %q", i, we.Kind)
+		}
+		id := tree.TID(we.T)
+		if !id.Valid() {
+			return nil, nil, fmt.Errorf("event: schedule[%d]: invalid transaction %q", i, we.T)
+		}
+		e := Event{Kind: k, T: id, Object: we.Object}
+		if len(we.Value) > 0 {
+			v, err := adt.DecodeValue(we.Value)
+			if err != nil {
+				return nil, nil, fmt.Errorf("event: schedule[%d]: %w", i, err)
+			}
+			e.Value = v
+		}
+		s = append(s, e)
+	}
+	return st, s, nil
+}

@@ -1,0 +1,171 @@
+package event
+
+import (
+	"math/rand"
+	"testing"
+
+	"nestedtx/internal/adt"
+)
+
+func TestRunRoundTrip(t *testing.T) {
+	st := NewSystemType()
+	st.DefineObject("R", adt.NewRegister(int64(3)))
+	st.DefineObject("C", adt.Counter{N: 5})
+	st.DefineObject("A", adt.Account{Balance: 100})
+	st.DefineObject("S", adt.NewIntSet(1, 2, 3))
+	st.DefineObject("T", adt.NewTable(map[string]adt.Value{"k": int64(9), "s": "str", "b": true}))
+	st.MustDefineAccess("T0.0.0", "R", adt.RegWrite{V: int64(7)})
+	st.MustDefineAccess("T0.0.1", "C", adt.CtrAdd{Delta: -2})
+	st.MustDefineAccess("T0.0.2", "A", adt.AcctWithdraw{Amount: 30})
+	st.MustDefineAccess("T0.0.3", "S", adt.SetContains{X: 2})
+	st.MustDefineAccess("T0.0.4", "T", adt.TblPut{K: "k", V: int64(10)})
+	st.MustDefineAccess("T0.0.5", "C", adt.CtrTake{N: 1})
+
+	sched := Schedule{
+		{Kind: Create, T: "T0"},
+		{Kind: RequestCreate, T: "T0.0"},
+		{Kind: Create, T: "T0.0"},
+		{Kind: RequestCreate, T: "T0.0.0"},
+		{Kind: Create, T: "T0.0.0"},
+		{Kind: RequestCommit, T: "T0.0.0", Value: int64(7)},
+		{Kind: Commit, T: "T0.0.0"},
+		{Kind: InformCommitAt, T: "T0.0.0", Object: "R"},
+		{Kind: ReportCommit, T: "T0.0.0", Value: int64(7)},
+		{Kind: RequestCommit, T: "T0.0.2", Value: adt.AcctResult{OK: true, Balance: 70}},
+		{Kind: RequestCommit, T: "T0.0.5", Value: adt.TakeResult{OK: true, N: 4}},
+		{Kind: RequestCommit, T: "T0.0.3", Value: true},
+		{Kind: Abort, T: "T0.1"},
+		{Kind: InformAbortAt, T: "T0.1", Object: "C"},
+		{Kind: ReportAbort, T: "T0.1"},
+		{Kind: RequestCommit, T: "T0.0.4", Value: nil},
+	}
+
+	data, err := MarshalRun(st, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, sched2, err := UnmarshalRun(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched2.Equal(sched) {
+		t.Fatalf("schedule changed across round-trip:\n%s\nvs\n%s", sched, sched2)
+	}
+	// System type equivalence: same objects (by rendered initial state)
+	// and same accesses (object + op string + classification).
+	if len(st2.Objects()) != len(st.Objects()) {
+		t.Fatal("object count changed")
+	}
+	for _, x := range st.Objects() {
+		a, _ := st.ObjectInitial(x)
+		b, ok := st2.ObjectInitial(x)
+		if !ok || a.String() != b.String() {
+			t.Fatalf("object %s initial state changed: %v vs %v", x, a, b)
+		}
+	}
+	for _, id := range st.Accesses() {
+		a, _ := st.AccessInfo(id)
+		b, ok := st2.AccessInfo(id)
+		if !ok || a.Object != b.Object || a.Op.String() != b.Op.String() || a.Op.ReadOnly() != b.Op.ReadOnly() {
+			t.Fatalf("access %s changed: %+v vs %+v", id, a, b)
+		}
+	}
+}
+
+func TestRunRoundTripAllOps(t *testing.T) {
+	ops := []adt.Op{
+		adt.RegRead{}, adt.RegWrite{V: "str"}, adt.RegWrite{V: true}, adt.RegWrite{V: nil},
+		adt.CtrGet{}, adt.CtrAdd{Delta: 3}, adt.CtrTake{N: 2},
+		adt.AcctBalance{}, adt.AcctDeposit{Amount: 1}, adt.AcctWithdraw{Amount: 2},
+		adt.SetInsert{X: 1}, adt.SetRemove{X: 2}, adt.SetContains{X: 3}, adt.SetSize{},
+		adt.TblGet{K: "a"}, adt.TblPut{K: "b", V: "x"}, adt.TblDelete{K: "c"},
+	}
+	for _, op := range ops {
+		raw, err := adt.EncodeOp(op)
+		if err != nil {
+			t.Fatalf("%T: %v", op, err)
+		}
+		back, err := adt.DecodeOp(raw)
+		if err != nil {
+			t.Fatalf("%T: %v", op, err)
+		}
+		if back.String() != op.String() || back.ReadOnly() != op.ReadOnly() {
+			t.Fatalf("%T: round-trip mismatch: %s vs %s", op, op, back)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, _, err := UnmarshalRun([]byte("{")); err == nil {
+		t.Fatal("truncated JSON must fail")
+	}
+	if _, _, err := UnmarshalRun([]byte(`{"schedule":[{"kind":"NOPE","t":"T0"}]}`)); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+	if _, _, err := UnmarshalRun([]byte(`{"schedule":[{"kind":"CREATE","t":"banana"}]}`)); err == nil {
+		t.Fatal("invalid TID must fail")
+	}
+	if _, err := adt.DecodeValue([]byte(`{"t":"???"}`)); err == nil {
+		t.Fatal("unknown value tag must fail")
+	}
+	if _, err := adt.DecodeOp([]byte(`{"t":"???"}`)); err == nil {
+		t.Fatal("unknown op tag must fail")
+	}
+	if _, err := adt.DecodeState([]byte(`{"t":"???"}`)); err == nil {
+		t.Fatal("unknown state tag must fail")
+	}
+}
+
+func TestEncodeRejectsCustomTypes(t *testing.T) {
+	if _, err := adt.EncodeValue(struct{ X int }{1}); err == nil {
+		t.Fatal("custom value must be rejected")
+	}
+	if _, err := adt.EncodeOp(customOp{}); err == nil {
+		t.Fatal("custom op must be rejected")
+	}
+	if _, err := adt.EncodeState(customState{}); err == nil {
+		t.Fatal("custom state must be rejected")
+	}
+}
+
+type customOp struct{}
+
+func (customOp) Apply(s adt.State) (adt.State, adt.Value) { return s, nil }
+func (customOp) ReadOnly() bool                           { return true }
+func (customOp) String() string                           { return "custom" }
+
+type customState struct{}
+
+func (customState) String() string { return "custom" }
+
+// TestRoundTripRandomValues exercises the value codec against the values
+// driver schedules actually carry.
+func TestRoundTripRandomValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		var v adt.Value
+		switch rng.Intn(5) {
+		case 0:
+			v = rng.Int63()
+		case 1:
+			v = rng.Intn(2) == 0
+		case 2:
+			v = "s"
+		case 3:
+			v = adt.AcctResult{OK: rng.Intn(2) == 0, Balance: rng.Int63()}
+		default:
+			v = adt.TakeResult{OK: true, N: rng.Int63()}
+		}
+		raw, err := adt.EncodeValue(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := adt.DecodeValue(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != v {
+			t.Fatalf("round-trip changed %v to %v", v, back)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package event
+
+import "sync"
+
+// Recorder accumulates the event schedule of a live run, thread-safely.
+// Components record each operation at the moment its state transition
+// logically takes effect, so the accumulated sequence is a schedule of the
+// composed system. A nil *Recorder is valid and records nothing, which
+// lets benchmarks run with recording off.
+type Recorder struct {
+	mu     sync.Mutex
+	events Schedule
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends e. No-op on a nil recorder.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// RecordAll appends a batch of events atomically (they will appear
+// contiguously in the schedule). No-op on a nil recorder.
+func (r *Recorder) RecordAll(es ...Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, es...)
+	r.mu.Unlock()
+}
+
+// Snapshot returns a copy of the schedule so far. Nil recorders return
+// nil.
+func (r *Recorder) Snapshot() Schedule {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.events.Clone()
+}
+
+// Len returns the number of events recorded.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}

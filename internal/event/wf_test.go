@@ -1,0 +1,192 @@
+package event
+
+import (
+	"strings"
+	"testing"
+)
+
+func wfTx(t *testing.T, evs ...Event) error {
+	t.Helper()
+	return WFTransaction(evs, "T0.0")
+}
+
+func TestWFTransactionAccepts(t *testing.T) {
+	err := wfTx(t,
+		Event{Kind: Create, T: "T0.0"},
+		Event{Kind: RequestCreate, T: "T0.0.0"},
+		Event{Kind: RequestCreate, T: "T0.0.1"},
+		Event{Kind: ReportAbort, T: "T0.0.1"},
+		Event{Kind: ReportCommit, T: "T0.0.0", Value: int64(1)},
+		Event{Kind: ReportCommit, T: "T0.0.0", Value: int64(1)}, // repeat of same report is legal
+		Event{Kind: RequestCommit, T: "T0.0", Value: int64(2)},
+		Event{Kind: ReportAbort, T: "T0.0.1"}, // reports may arrive after commit request
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWFTransactionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		evs  []Event
+		want string
+	}{
+		{"duplicate create", []Event{
+			{Kind: Create, T: "T0.0"}, {Kind: Create, T: "T0.0"},
+		}, "duplicate CREATE"},
+		{"output before create", []Event{
+			{Kind: RequestCreate, T: "T0.0.0"},
+		}, "before CREATE"},
+		{"request commit before create", []Event{
+			{Kind: RequestCommit, T: "T0.0"},
+		}, "before CREATE"},
+		{"duplicate request create", []Event{
+			{Kind: Create, T: "T0.0"},
+			{Kind: RequestCreate, T: "T0.0.0"},
+			{Kind: RequestCreate, T: "T0.0.0"},
+		}, "duplicate REQUEST_CREATE"},
+		{"report for unrequested child", []Event{
+			{Kind: Create, T: "T0.0"},
+			{Kind: ReportCommit, T: "T0.0.0"},
+		}, "not requested"},
+		{"conflicting reports", []Event{
+			{Kind: Create, T: "T0.0"},
+			{Kind: RequestCreate, T: "T0.0.0"},
+			{Kind: ReportCommit, T: "T0.0.0", Value: int64(1)},
+			{Kind: ReportAbort, T: "T0.0.0"},
+		}, "REPORT_ABORT after REPORT_COMMIT"},
+		{"conflicting report values", []Event{
+			{Kind: Create, T: "T0.0"},
+			{Kind: RequestCreate, T: "T0.0.0"},
+			{Kind: ReportCommit, T: "T0.0.0", Value: int64(1)},
+			{Kind: ReportCommit, T: "T0.0.0", Value: int64(2)},
+		}, "conflicting value"},
+		{"output after request commit", []Event{
+			{Kind: Create, T: "T0.0"},
+			{Kind: RequestCommit, T: "T0.0"},
+			{Kind: RequestCreate, T: "T0.0.0"},
+		}, "after REQUEST_COMMIT"},
+		{"duplicate request commit", []Event{
+			{Kind: Create, T: "T0.0"},
+			{Kind: RequestCommit, T: "T0.0"},
+			{Kind: RequestCommit, T: "T0.0"},
+		}, "duplicate REQUEST_COMMIT"},
+		{"foreign event", []Event{
+			{Kind: Create, T: "T0.1"},
+		}, "not an operation"},
+	}
+	for _, c := range cases {
+		err := wfTx(t, c.evs...)
+		if err == nil {
+			t.Errorf("%s: accepted, want rejection", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestWFObject(t *testing.T) {
+	st := testType(t)
+	good := Schedule{
+		{Kind: Create, T: "T0.0.0"},
+		{Kind: Create, T: "T0.0.1"},
+		{Kind: RequestCommit, T: "T0.0.1", Value: int64(0)},
+		{Kind: RequestCommit, T: "T0.0.0", Value: int64(1)},
+	}
+	if err := WFObject(good, st, "X"); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Schedule{
+		{{Kind: Create, T: "T0.0.0"}, {Kind: Create, T: "T0.0.0"}},
+		{{Kind: RequestCommit, T: "T0.0.0"}},
+		{{Kind: Create, T: "T0.0.0"}, {Kind: RequestCommit, T: "T0.0.0"}, {Kind: RequestCommit, T: "T0.0.0"}},
+		{{Kind: Create, T: "T0.1.0"}}, // access to Y, not X
+		{{Kind: Commit, T: "T0.0.0"}}, // not a basic-object operation
+	}
+	for i, b := range bads {
+		if WFObject(b, st, "X") == nil {
+			t.Errorf("bad object schedule %d accepted", i)
+		}
+	}
+}
+
+func TestPending(t *testing.T) {
+	st := testType(t)
+	s := Schedule{
+		{Kind: Create, T: "T0.0.0"},
+		{Kind: Create, T: "T0.0.1"},
+		{Kind: RequestCommit, T: "T0.0.0", Value: int64(1)},
+	}
+	p := Pending(s, st, "X")
+	if len(p) != 1 || p[0] != "T0.0.1" {
+		t.Fatalf("Pending = %v", p)
+	}
+}
+
+func TestWFLockObject(t *testing.T) {
+	st := testType(t)
+	good := Schedule{
+		{Kind: Create, T: "T0.0.0"},
+		{Kind: RequestCommit, T: "T0.0.0", Value: int64(1)},
+		{Kind: InformCommitAt, T: "T0.0.0", Object: "X"},
+		{Kind: InformCommitAt, T: "T0.0", Object: "X"},
+		{Kind: InformAbortAt, T: "T0.1", Object: "X"},
+	}
+	if err := WFLockObject(good, st, "X"); err != nil {
+		t.Fatal(err)
+	}
+	bads := []struct {
+		name string
+		s    Schedule
+	}{
+		{"inform commit before response", Schedule{
+			{Kind: Create, T: "T0.0.0"},
+			{Kind: InformCommitAt, T: "T0.0.0", Object: "X"},
+		}},
+		{"inform commit then abort", Schedule{
+			{Kind: InformCommitAt, T: "T0.0", Object: "X"},
+			{Kind: InformAbortAt, T: "T0.0", Object: "X"},
+		}},
+		{"inform abort then commit", Schedule{
+			{Kind: InformAbortAt, T: "T0.0", Object: "X"},
+			{Kind: InformCommitAt, T: "T0.0", Object: "X"},
+		}},
+		{"duplicate create", Schedule{
+			{Kind: Create, T: "T0.0.0"},
+			{Kind: Create, T: "T0.0.0"},
+		}},
+		{"wrong object inform", Schedule{
+			{Kind: InformCommitAt, T: "T0.0", Object: "Y"},
+		}},
+	}
+	for _, b := range bads {
+		if WFLockObject(b.s, st, "X") == nil {
+			t.Errorf("%s: accepted", b.name)
+		}
+	}
+}
+
+func TestWFSerialAndConcurrent(t *testing.T) {
+	st := testType(t)
+	s := Schedule{
+		{Kind: Create, T: "T0"},
+		{Kind: RequestCreate, T: "T0.0"},
+		{Kind: Create, T: "T0.0"},
+		{Kind: RequestCreate, T: "T0.0.0"},
+		{Kind: Create, T: "T0.0.0"},
+		{Kind: RequestCommit, T: "T0.0.0", Value: int64(1)},
+	}
+	if err := WFSerial(s, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := WFConcurrent(s, st); err != nil {
+		t.Fatal(err)
+	}
+	bad := append(s.Clone(), Event{Kind: Create, T: "T0.0.0"})
+	if WFSerial(bad, st) == nil || WFConcurrent(bad, st) == nil {
+		t.Fatal("duplicate access CREATE must be rejected by both")
+	}
+}

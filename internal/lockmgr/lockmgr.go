@@ -1,0 +1,481 @@
+// Package lockmgr is the production engine behind the nestedtx runtime: a
+// blocking implementation of Moss' read/write locking for nested
+// transactions (the algorithm of §5.1), with version management for abort
+// recovery and wait-for-graph deadlock detection.
+//
+// Where internal/core models M(X) as an I/O automaton whose responses are
+// chosen by a driver, this package services real goroutines: an Acquire
+// blocks until every holder of a conflicting lock is an ancestor of the
+// requesting access, or until the caller is cancelled or chosen as a
+// deadlock victim.
+//
+// All lock-table transitions happen under one manager mutex and are
+// recorded in the formal event vocabulary, so the schedule of a live run
+// can be machine-checked against Theorem 34 by internal/checker.
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"nestedtx/internal/adt"
+	"nestedtx/internal/core"
+	"nestedtx/internal/event"
+	"nestedtx/internal/tree"
+)
+
+// ErrDeadlock is returned by Acquire when the caller was chosen as the
+// victim of a deadlock cycle. The enclosing transaction should abort (the
+// nestedtx runtime does this automatically and may retry).
+var ErrDeadlock = errors.New("lockmgr: deadlock victim")
+
+// ErrCancelled is returned by Acquire when the caller's cancel channel
+// closed while waiting.
+var ErrCancelled = errors.New("lockmgr: acquire cancelled")
+
+// Stats counts manager activity. Read a consistent copy via
+// Manager.Stats.
+type Stats struct {
+	Acquires      uint64 // granted lock acquisitions
+	Waits         uint64 // acquisitions that blocked at least once
+	Deadlocks     uint64 // deadlock cycles broken
+	CommitMoves   uint64 // lock inheritances on commit
+	AbortReleases uint64 // lock discards on abort
+}
+
+// Manager owns the lock tables and version maps of every registered object
+// and the global wait-for graph.
+type Manager struct {
+	mode core.Mode
+	rec  *event.Recorder
+
+	mu      sync.Mutex
+	objects map[string]*lockState
+	waiters map[*waiter]struct{}
+	stats   Stats
+}
+
+// lockState is the M(X) state for one object: the two lock tables and the
+// version map (defined exactly on the write-lockholders).
+type lockState struct {
+	name     string
+	read     tree.Set
+	write    tree.Set
+	versions map[tree.TID]adt.State
+}
+
+type waiter struct {
+	tx     tree.TID // the live transaction performing the access
+	access tree.TID
+	object string
+	write  bool // whether the access needs a write lock
+	wake   chan struct{}
+	victim bool
+}
+
+// New returns a Manager recording to rec (nil disables recording) with the
+// given lock classification mode.
+func New(rec *event.Recorder, mode core.Mode) *Manager {
+	return &Manager{
+		mode:    mode,
+		rec:     rec,
+		objects: make(map[string]*lockState),
+		waiters: make(map[*waiter]struct{}),
+	}
+}
+
+// Register declares object x with initial state init; the root holds the
+// initial write lock, exactly as in M(X)'s initial state.
+func (m *Manager) Register(x string, init adt.State) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.objects[x]; dup {
+		return fmt.Errorf("lockmgr: object %q already registered", x)
+	}
+	m.objects[x] = &lockState{
+		name:     x,
+		read:     tree.NewSet(),
+		write:    tree.NewSet(tree.Root),
+		versions: map[tree.TID]adt.State{tree.Root: init},
+	}
+	return nil
+}
+
+// Stats returns a copy of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Objects returns the registered object names.
+func (m *Manager) Objects() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.objects))
+	for x := range m.objects {
+		out = append(out, x)
+	}
+	return out
+}
+
+// CurrentState returns the current (least write-lockholder) state of x,
+// for inspection after a run.
+func (m *Manager) CurrentState(x string) (adt.State, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls, ok := m.objects[x]
+	if !ok {
+		return nil, fmt.Errorf("lockmgr: object %q not registered", x)
+	}
+	return ls.current(), nil
+}
+
+func (ls *lockState) current() adt.State {
+	least, ok := ls.write.Least()
+	if !ok {
+		panic("lockmgr: no write-lockholders (root lock lost)")
+	}
+	return ls.versions[least]
+}
+
+// isWrite reports whether op takes a write lock under the manager's mode.
+func (m *Manager) isWrite(op adt.Op) bool {
+	return m.mode == core.Exclusive || !op.ReadOnly()
+}
+
+// blocked returns a conflicting lockholder that is not an ancestor of t,
+// or "" when the acquisition can proceed.
+func (ls *lockState) blocked(t tree.TID, write bool) (tree.TID, bool) {
+	for u := range ls.write {
+		if !u.IsAncestorOf(t) {
+			return u, true
+		}
+	}
+	if write {
+		for u := range ls.read {
+			if !u.IsAncestorOf(t) {
+				return u, true
+			}
+		}
+	}
+	return "", false
+}
+
+// Acquire runs access `access` (a child of live transaction tx) applying
+// op to object x, blocking until the Moss locking rule admits it. On
+// success it returns the operation's value; the lock ends up held by tx
+// (the access is granted its lock, commits, and the lock passes to its
+// parent — the corresponding five formal events are recorded atomically).
+//
+// cancel, when closed, unblocks the wait with ErrCancelled (used when the
+// enclosing transaction is aborted externally). ErrDeadlock is returned
+// when the wait was chosen as a deadlock victim.
+func (m *Manager) Acquire(tx, access tree.TID, x string, op adt.Op, cancel <-chan struct{}) (adt.Value, error) {
+	write := m.isWrite(op)
+	waited := false
+	m.mu.Lock()
+	for {
+		ls, ok := m.objects[x]
+		if !ok {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("lockmgr: object %q not registered", x)
+		}
+		if _, isBlocked := ls.blocked(access, write); !isBlocked {
+			v := m.grantLocked(ls, tx, access, op, write)
+			m.stats.Acquires++
+			if waited {
+				m.stats.Waits++
+			}
+			// A grant can complete a wait-for cycle (a newly compatible
+			// read lock blocks an older write waiter) without any new
+			// waiter registering, so detection must run here too.
+			m.breakCyclesLocked()
+			m.mu.Unlock()
+			return v, nil
+		}
+		// Conflicting lock held by a non-ancestor: wait for the holder's
+		// chain to commit (lock inheritance) or abort (lock release).
+		w := &waiter{tx: tx, access: access, object: x, write: write, wake: make(chan struct{})}
+		m.waiters[w] = struct{}{}
+		m.breakCyclesLocked()
+		if w.victim {
+			delete(m.waiters, w)
+			m.mu.Unlock()
+			return nil, ErrDeadlock
+		}
+		m.mu.Unlock()
+		waited = true
+		select {
+		case <-w.wake:
+			m.mu.Lock()
+			if w.victim {
+				delete(m.waiters, w)
+				m.mu.Unlock()
+				return nil, ErrDeadlock
+			}
+			delete(m.waiters, w)
+		case <-cancel:
+			m.mu.Lock()
+			delete(m.waiters, w)
+			m.mu.Unlock()
+			return nil, ErrCancelled
+		}
+	}
+}
+
+// grantLocked applies op, grants the access its lock, and immediately
+// commits the access so the lock is inherited by tx. Caller holds m.mu.
+func (m *Manager) grantLocked(ls *lockState, tx, access tree.TID, op adt.Op, write bool) adt.Value {
+	next, v := op.Apply(ls.current())
+	if write {
+		ls.write.Add(tx)
+		ls.versions[tx] = next
+	} else {
+		ls.read.Add(tx)
+	}
+	m.rec.RecordAll(
+		event.Event{Kind: event.RequestCommit, T: access, Value: v},
+		event.Event{Kind: event.Commit, T: access},
+		event.Event{Kind: event.InformCommitAt, T: access, Object: ls.name},
+		event.Event{Kind: event.ReportCommit, T: access, Value: v},
+	)
+	return v
+}
+
+// Commit moves every lock held by t up to parent(t) (with its version, for
+// write locks), recording COMMIT(t) and the INFORM_COMMIT events, then
+// wakes waiters. It must be called exactly once per committing
+// transaction, after all of t's children have returned.
+func (m *Manager) Commit(t tree.TID, value event.Value) {
+	p := t.Parent()
+	m.mu.Lock()
+	m.rec.Record(event.Event{Kind: event.Commit, T: t})
+	for _, ls := range m.objects {
+		touched := false
+		if ls.write.Has(t) {
+			ls.write.Remove(t)
+			ls.write.Add(p)
+			ls.versions[p] = ls.versions[t]
+			delete(ls.versions, t)
+			touched = true
+		}
+		if ls.read.Has(t) {
+			ls.read.Remove(t)
+			ls.read.Add(p)
+			touched = true
+		}
+		if touched {
+			m.stats.CommitMoves++
+			m.rec.Record(event.Event{Kind: event.InformCommitAt, T: t, Object: ls.name})
+		}
+	}
+	m.rec.Record(event.Event{Kind: event.ReportCommit, T: t, Value: value})
+	m.wakeAllLocked()
+	m.mu.Unlock()
+}
+
+// Abort discards every lock and version held by t or its descendants,
+// recording ABORT(t) and the INFORM_ABORT events, then wakes waiters.
+func (m *Manager) Abort(t tree.TID) {
+	m.mu.Lock()
+	m.rec.Record(event.Event{Kind: event.Abort, T: t})
+	for _, ls := range m.objects {
+		touched := false
+		for u := range ls.write {
+			if u.IsDescendantOf(t) {
+				ls.write.Remove(u)
+				delete(ls.versions, u)
+				touched = true
+			}
+		}
+		for u := range ls.read {
+			if u.IsDescendantOf(t) {
+				ls.read.Remove(u)
+				touched = true
+			}
+		}
+		if touched {
+			m.stats.AbortReleases++
+			m.rec.Record(event.Event{Kind: event.InformAbortAt, T: t, Object: ls.name})
+		}
+	}
+	m.rec.Record(event.Event{Kind: event.ReportAbort, T: t})
+	m.wakeAllLocked()
+	m.mu.Unlock()
+}
+
+func (m *Manager) wakeAllLocked() {
+	for w := range m.waiters {
+		select {
+		case <-w.wake:
+		default:
+			close(w.wake)
+		}
+	}
+	// Woken waiters remove themselves on resume; clear the registry so
+	// detection never chases stale entries.
+	m.waiters = make(map[*waiter]struct{})
+}
+
+// detectLocked looks for a wait-for cycle through the newly registered
+// waiter w and returns the chosen victim's waiter, or nil. Caller holds
+// m.mu.
+//
+// The graph needs two kinds of edges. A waiter blocked by holder H is
+// really waiting for every transaction from H up to (but excluding)
+// lca(H, access) to commit — only then has the lock been inherited high
+// enough to become an ancestor's — so a lock edge goes from the waiting
+// transaction to each member of that chain. And a transaction cannot
+// commit before its descendants return, so a structural edge goes from
+// every proper ancestor of a waiting transaction down to it. Cycles in
+// this combined graph are exactly the executions that cannot progress
+// without an abort.
+// breakCyclesLocked finds wait-for cycles among the registered waiters and
+// aborts one victim per cycle found. Caller holds m.mu.
+func (m *Manager) breakCyclesLocked() {
+	for {
+		victim := m.detectLocked()
+		if victim == nil {
+			return
+		}
+		victim.victim = true
+		select {
+		case <-victim.wake:
+		default:
+			close(victim.wake)
+		}
+		delete(m.waiters, victim)
+		m.stats.Deadlocks++
+	}
+}
+
+func (m *Manager) detectLocked() *waiter {
+	edges := make(map[tree.TID]map[tree.TID]struct{})
+	byTx := make(map[tree.TID][]*waiter)
+	for wt := range m.waiters {
+		byTx[wt.tx] = append(byTx[wt.tx], wt)
+		ls, ok := m.objects[wt.object]
+		if !ok {
+			continue
+		}
+		addChain := func(holder tree.TID) {
+			lca := tree.LCA(holder, wt.access)
+			for u := holder; u != lca && u != tree.Root; u = u.Parent() {
+				addEdge(edges, wt.tx, u)
+			}
+		}
+		for u := range ls.write {
+			if !u.IsAncestorOf(wt.access) {
+				addChain(u)
+			}
+		}
+		if wt.write {
+			for u := range ls.read {
+				if !u.IsAncestorOf(wt.access) {
+					addChain(u)
+				}
+			}
+		}
+		// Structural edges: ancestors are gated on this waiter returning.
+		for _, anc := range wt.tx.ProperAncestors() {
+			if anc != tree.Root {
+				addEdge(edges, anc, wt.tx)
+			}
+		}
+	}
+	// Find a cycle reachable from any waiting transaction.
+	var cycle []tree.TID
+	for wt := range m.waiters {
+		if cycle = findCycle(edges, wt.tx); cycle != nil {
+			break
+		}
+	}
+	if cycle == nil {
+		return nil
+	}
+	// Victim: the deepest transaction in the cycle that is actually
+	// waiting, breaking level ties by the lexicographically larger name.
+	var victim *waiter
+	for _, t := range cycle {
+		for _, cand := range byTx[t] {
+			if victim == nil || cand.tx.Level() > victim.tx.Level() ||
+				(cand.tx.Level() == victim.tx.Level() && cand.tx > victim.tx) {
+				victim = cand
+			}
+		}
+	}
+	return victim
+}
+
+func addEdge(edges map[tree.TID]map[tree.TID]struct{}, a, b tree.TID) {
+	if a == b || b == tree.Root {
+		return
+	}
+	s := edges[a]
+	if s == nil {
+		s = make(map[tree.TID]struct{})
+		edges[a] = s
+	}
+	s[b] = struct{}{}
+}
+
+// findCycle returns some cycle containing start, or nil.
+func findCycle(edges map[tree.TID]map[tree.TID]struct{}, start tree.TID) []tree.TID {
+	onPath := map[tree.TID]bool{}
+	var path []tree.TID
+	visited := map[tree.TID]bool{}
+	var dfs func(t tree.TID) []tree.TID
+	dfs = func(t tree.TID) []tree.TID {
+		if onPath[t] {
+			// Extract the cycle suffix.
+			for i, u := range path {
+				if u == t {
+					return append([]tree.TID(nil), path[i:]...)
+				}
+			}
+			return append([]tree.TID(nil), path...)
+		}
+		if visited[t] {
+			return nil
+		}
+		visited[t] = true
+		onPath[t] = true
+		path = append(path, t)
+		for u := range edges[t] {
+			if c := dfs(u); c != nil {
+				return c
+			}
+		}
+		onPath[t] = false
+		path = path[:len(path)-1]
+		return nil
+	}
+	return dfs(start)
+}
+
+// CheckInvariants verifies Lemma 21 (lockholders of each object are
+// pairwise ancestry-related where one holds a write lock, and the write
+// table is a chain) and version-map consistency, for tests and stress
+// runs.
+func (m *Manager) CheckInvariants() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for x, ls := range m.objects {
+		if !ls.write.IsChain() {
+			return fmt.Errorf("lockmgr: %s: write-lockholders %v not a chain", x, ls.write.Members())
+		}
+		for w := range ls.write {
+			for r := range ls.read {
+				if !w.IsAncestorOf(r) && !r.IsAncestorOf(w) {
+					return fmt.Errorf("lockmgr: %s: write holder %s unrelated to read holder %s", x, w, r)
+				}
+			}
+		}
+		if len(ls.versions) != ls.write.Len() {
+			return fmt.Errorf("lockmgr: %s: %d versions for %d write holders", x, len(ls.versions), ls.write.Len())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package object
+
+// Executable versions of the §4.1 equieffectiveness algebra (Lemmas 15,
+// 16, 17), tested on register object schedules with systematic probes.
+
+import (
+	"testing"
+
+	"nestedtx/internal/event"
+	"nestedtx/internal/tree"
+)
+
+// registerWorld builds a register object with nW writes and nR reads under
+// T0.0, plus a canonical probe set exercising reads and writes with both
+// correct and incorrect values.
+func registerWorld(t *testing.T) (*event.SystemType, []tree.TID, []tree.TID, func(cur int64) []event.Schedule) {
+	t.Helper()
+	st, ws, rs := regType(t, 6, 6)
+	probes := func(cur int64) []event.Schedule {
+		return []event.Schedule{
+			{{Kind: event.Create, T: rs[4]}, {Kind: event.RequestCommit, T: rs[4], Value: cur}},
+			{{Kind: event.Create, T: rs[5]}, {Kind: event.RequestCommit, T: rs[5], Value: cur + 111}}, // wrong value
+			{{Kind: event.Create, T: ws[4]}, {Kind: event.RequestCommit, T: ws[4], Value: int64(5)},
+				{Kind: event.Create, T: rs[4]}, {Kind: event.RequestCommit, T: rs[4], Value: int64(5)}},
+			{{Kind: event.Create, T: ws[5]}},
+		}
+	}
+	return st, ws, rs, probes
+}
+
+// acc builds the (CREATE, REQUEST_COMMIT) pair of an access.
+func acc(id tree.TID, v int64) event.Schedule {
+	return event.Schedule{
+		{Kind: event.Create, T: id},
+		{Kind: event.RequestCommit, T: id, Value: v},
+	}
+}
+
+// TestLemma15RestrictedTransitivity — if β's events ⊆ α's and γ's ⊆ β's,
+// α ≡ β and β ≡ γ imply α ≡ γ.
+func TestLemma15RestrictedTransitivity(t *testing.T) {
+	st, ws, rs, probes := registerWorld(t)
+	// α: write(1), read, read ; β: α minus one read ; γ: writes only.
+	var alpha event.Schedule
+	alpha = append(alpha, acc(ws[0], 1)...)
+	alpha = append(alpha, acc(rs[0], 1)...)
+	alpha = append(alpha, acc(rs[1], 1)...)
+	beta := alpha.Filter(func(e event.Event) bool { return e.T != rs[1] })
+	gamma := beta.Filter(func(e event.Event) bool { return e.T != rs[0] })
+	ps := probes(1)
+	if !Equieffective(st, "X", alpha, beta, ps) || !Equieffective(st, "X", beta, gamma, ps) {
+		t.Fatal("setup: pairs should be equieffective (reads are transparent)")
+	}
+	if !Equieffective(st, "X", alpha, gamma, ps) {
+		t.Fatal("Lemma 15: transitivity failed")
+	}
+}
+
+// TestLemma16Extension — if α ≡ β with the same events and αφ is a
+// well-formed schedule, then βφ is a schedule equieffective to αφ.
+func TestLemma16Extension(t *testing.T) {
+	st, ws, rs, probes := registerWorld(t)
+	// Same events, different order: read before/after an unrelated CREATE.
+	var alpha event.Schedule
+	alpha = append(alpha, acc(ws[0], 1)...)
+	alpha = append(alpha, event.Event{Kind: event.Create, T: rs[0]})
+	alpha = append(alpha, event.Event{Kind: event.RequestCommit, T: rs[0], Value: int64(1)})
+	beta := event.Schedule{
+		{Kind: event.Create, T: rs[0]}, // created earlier
+		alpha[0], alpha[1],
+		{Kind: event.RequestCommit, T: rs[0], Value: int64(1)},
+	}
+	ps := probes(1)
+	if !Equieffective(st, "X", alpha, beta, ps) {
+		t.Fatal("setup: CREATE placement must be undetectable (semantic condition 2)")
+	}
+	phi := acc(ws[1], 2)
+	alphaPhi := append(alpha.Clone(), phi...)
+	betaPhi := append(beta.Clone(), phi...)
+	if !IsSchedule(st, "X", alphaPhi) {
+		t.Fatal("setup: αφ should be a schedule")
+	}
+	if !IsSchedule(st, "X", betaPhi) {
+		t.Fatal("Lemma 16: βφ should be a schedule")
+	}
+	if !Equieffective(st, "X", alphaPhi, betaPhi, probes(2)) {
+		t.Fatal("Lemma 16: αφ and βφ should be equieffective")
+	}
+}
+
+// TestLemma17RemovingTransparentOps — deleting all operations of a set of
+// transparent accesses yields a well-formed schedule equieffective to the
+// original.
+func TestLemma17RemovingTransparentOps(t *testing.T) {
+	st, ws, rs, probes := registerWorld(t)
+	var alpha event.Schedule
+	alpha = append(alpha, acc(rs[0], 0)...)
+	alpha = append(alpha, acc(ws[0], 1)...)
+	alpha = append(alpha, acc(rs[1], 1)...)
+	alpha = append(alpha, acc(ws[1], 2)...)
+	alpha = append(alpha, acc(rs[2], 2)...)
+	if !IsSchedule(st, "X", alpha) {
+		t.Fatal("setup: alpha should be a schedule")
+	}
+	// Remove every read access's operations (CREATEs and read
+	// REQUEST_COMMITs are transparent by the semantic conditions).
+	beta := alpha.Filter(func(e event.Event) bool { return st.IsWriteAccess(e.T) })
+	if err := event.WFObject(beta, st, "X"); err != nil {
+		t.Fatalf("Lemma 17: filtered schedule ill-formed: %v", err)
+	}
+	if !IsSchedule(st, "X", beta) {
+		t.Fatal("Lemma 17: filtered sequence should be a schedule")
+	}
+	if !Equieffective(st, "X", alpha, beta, probes(2)) {
+		t.Fatal("Lemma 17: filtered schedule should be equieffective")
+	}
+}

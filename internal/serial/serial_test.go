@@ -1,0 +1,207 @@
+package serial
+
+import (
+	"strings"
+	"testing"
+
+	"nestedtx/internal/adt"
+	"nestedtx/internal/event"
+	"nestedtx/internal/tree"
+)
+
+func ev(k event.Kind, t tree.TID, v ...event.Value) event.Event {
+	e := event.Event{Kind: k, T: t}
+	if len(v) > 0 {
+		e.Value = v[0]
+	}
+	return e
+}
+
+func testType(t *testing.T) *event.SystemType {
+	t.Helper()
+	st := event.NewSystemType()
+	st.DefineObject("X", adt.NewRegister(int64(0)))
+	st.MustDefineAccess("T0.0.0", "X", adt.RegWrite{V: int64(5)})
+	st.MustDefineAccess("T0.0.1", "X", adt.RegRead{})
+	st.MustDefineAccess("T0.1.0", "X", adt.RegRead{})
+	return st
+}
+
+// goodSerial is a complete, legal serial schedule of the test type.
+func goodSerial() event.Schedule {
+	return event.Schedule{
+		ev(event.Create, "T0"),
+		ev(event.RequestCreate, "T0.0"),
+		ev(event.Create, "T0.0"),
+		ev(event.RequestCreate, "T0.0.0"),
+		ev(event.Create, "T0.0.0"),
+		ev(event.RequestCommit, "T0.0.0", int64(5)),
+		ev(event.Commit, "T0.0.0"),
+		ev(event.ReportCommit, "T0.0.0", int64(5)),
+		ev(event.RequestCreate, "T0.0.1"),
+		ev(event.Create, "T0.0.1"),
+		ev(event.RequestCommit, "T0.0.1", int64(5)),
+		ev(event.Commit, "T0.0.1"),
+		ev(event.ReportCommit, "T0.0.1", int64(5)),
+		ev(event.RequestCommit, "T0.0", int64(2)),
+		ev(event.Commit, "T0.0"),
+		ev(event.ReportCommit, "T0.0", int64(2)),
+		ev(event.RequestCreate, "T0.1"),
+		ev(event.Create, "T0.1"),
+		ev(event.RequestCreate, "T0.1.0"),
+		ev(event.Create, "T0.1.0"),
+		ev(event.RequestCommit, "T0.1.0", int64(5)),
+		ev(event.Commit, "T0.1.0"),
+		ev(event.ReportCommit, "T0.1.0", int64(5)),
+		ev(event.RequestCommit, "T0.1", int64(1)),
+		ev(event.Commit, "T0.1"),
+	}
+}
+
+func TestValidateAcceptsSerial(t *testing.T) {
+	if err := Validate(goodSerial(), testType(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	st := testType(t)
+	base := goodSerial()
+	mutate := func(f func(event.Schedule) event.Schedule) error {
+		return Validate(f(base.Clone()), st)
+	}
+	cases := []struct {
+		name string
+		f    func(event.Schedule) event.Schedule
+		want string
+	}{
+		{"concurrent siblings", func(s event.Schedule) event.Schedule {
+			// CREATE(T0.1) before T0.0 returns.
+			out := s[:3].Clone()
+			out = append(out, ev(event.RequestCreate, "T0.1"), ev(event.Create, "T0.1"))
+			return out
+		}, "sibling"},
+		{"create without request", func(s event.Schedule) event.Schedule {
+			return event.Schedule{ev(event.Create, "T0"), ev(event.Create, "T0.3")}
+		}, "not requested"},
+		{"commit without request", func(s event.Schedule) event.Schedule {
+			return append(s[:5].Clone(), ev(event.Commit, "T0.0.0"))
+		}, "commit not requested"},
+		{"abort after create", func(s event.Schedule) event.Schedule {
+			return append(s[:3].Clone(), ev(event.Abort, "T0.0"))
+		}, "never created"},
+		{"wrong object value", func(s event.Schedule) event.Schedule {
+			s[5].Value = int64(99)
+			s[7].Value = int64(99)
+			return s
+		}, "value mismatch"},
+		{"inform event", func(s event.Schedule) event.Schedule {
+			return append(s.Clone(), event.Event{Kind: event.InformCommitAt, T: "T0.0", Object: "X"})
+		}, "not a serial operation"},
+		{"commit before children return", func(s event.Schedule) event.Schedule {
+			return append(s[:6].Clone(), ev(event.RequestCommit, "T0.0", int64(0)), ev(event.Commit, "T0.0"))
+		}, "not returned"},
+		{"report wrong value", func(s event.Schedule) event.Schedule {
+			s[7].Value = int64(6)
+			return s
+		}, "not the requested commit value"},
+		{"root commit", func(s event.Schedule) event.Schedule {
+			return append(s.Clone(), ev(event.RequestCommit, "T0", int64(0)), ev(event.Commit, "T0"))
+		}, "root does not commit"},
+	}
+	for _, c := range cases {
+		err := mutate(c.f)
+		if err == nil {
+			t.Errorf("%s: accepted, want rejection", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestSerialAbortBeforeCreate(t *testing.T) {
+	st := testType(t)
+	s := event.Schedule{
+		ev(event.Create, "T0"),
+		ev(event.RequestCreate, "T0.0"),
+		ev(event.Abort, "T0.0"),
+		ev(event.ReportAbort, "T0.0"),
+		ev(event.RequestCreate, "T0.1"),
+		ev(event.Create, "T0.1"),
+	}
+	if err := Validate(s, st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriallyCorrectFor(t *testing.T) {
+	st := testType(t)
+	beta := goodSerial()
+	// alpha: a "concurrent" schedule whose projection at T0.0 matches.
+	alpha := beta.Clone()
+	if err := SeriallyCorrectFor(alpha, beta, st, "T0.0"); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating alpha's projection at T0.0 must be caught.
+	alpha2 := beta.Clone()
+	alpha2[13].Value = int64(7) // REQUEST_COMMIT(T0.0, ·)
+	if err := SeriallyCorrectFor(alpha2, beta, st, "T0.0"); err == nil {
+		t.Fatal("projection mismatch must be detected")
+	}
+	// A non-serial beta must be rejected.
+	bad := beta.Clone()
+	bad[6], bad[7] = bad[7], bad[6] // report before commit
+	if err := SeriallyCorrectFor(alpha, bad, st, "T0.0"); err == nil {
+		t.Fatal("non-serial candidate must be rejected")
+	}
+}
+
+func TestSchedulerStateQueries(t *testing.T) {
+	sc := NewScheduler()
+	steps := event.Schedule{
+		ev(event.RequestCreate, "T0.0"),
+		ev(event.Create, "T0.0"),
+		ev(event.RequestCommit, "T0.0", int64(3)),
+		ev(event.Commit, "T0.0"),
+	}
+	for _, e := range steps {
+		if err := sc.Step(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sc.Created("T0.0") || !sc.Committed("T0.0") || sc.Aborted("T0.0") {
+		t.Fatal("state queries wrong")
+	}
+	if v, ok := sc.CommitValue("T0.0"); !ok || v != int64(3) {
+		t.Fatalf("CommitValue = %v,%v", v, ok)
+	}
+	if _, ok := sc.CommitValue("T0.9"); ok {
+		t.Fatal("CommitValue for unknown transaction")
+	}
+}
+
+// Lemma 6: only related transactions are live concurrently in a serial
+// schedule — checked over every prefix of a known serial schedule.
+func TestLemma6OnlyRelatedLive(t *testing.T) {
+	s := goodSerial()
+	txs := []tree.TID{"T0", "T0.0", "T0.1", "T0.0.0", "T0.0.1", "T0.1.0"}
+	for n := 0; n <= len(s); n++ {
+		prefix := s[:n]
+		var live []tree.TID
+		for _, u := range txs {
+			if prefix.IsLive(u) {
+				live = append(live, u)
+			}
+		}
+		for i := 0; i < len(live); i++ {
+			for j := i + 1; j < len(live); j++ {
+				a, b := live[i], live[j]
+				if !a.IsAncestorOf(b) && !b.IsAncestorOf(a) {
+					t.Fatalf("prefix %d: unrelated %s and %s both live", n, a, b)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,353 @@
+// Package sim generates parameterised workloads for the nestedtx runtime
+// and measures them — the experiment harness behind EXPERIMENTS.md and the
+// benchmark suite.
+//
+// A workload is a population of top-level transactions, each a tree of
+// concurrent subtransactions bottoming out in read/write accesses against
+// a shared set of objects. Knobs cover the axes the paper's qualitative
+// claims speak to: read fraction (read/write vs exclusive locking),
+// nesting depth and fanout (intra-transaction concurrency), abort rate
+// (recovery), and contention (hotspots).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nestedtx"
+)
+
+// Workload parameterises one experiment run.
+type Workload struct {
+	// Objects is the number of shared counters.
+	Objects int
+	// Transactions is the number of top-level transactions to run.
+	Transactions int
+	// Concurrency is how many worker goroutines submit transactions.
+	Concurrency int
+	// Depth is the nesting depth: 0 means accesses directly in the
+	// top-level transaction; d>0 adds d levels of subtransactions.
+	Depth int
+	// Fanout is the number of concurrent subtransactions per level.
+	Fanout int
+	// OpsPerLeaf is the number of accesses each leaf transaction performs.
+	OpsPerLeaf int
+	// WriterOps, when positive, overrides OpsPerLeaf for write-classified
+	// transactions (only meaningful with ReadTxFraction): update
+	// transactions touching a single object cannot deadlock with each
+	// other, which isolates the read-concurrency effect in E3.
+	WriterOps int
+	// ReadFraction is the probability an access is a read (per-access
+	// classification; mixing reads and writes of the same object inside
+	// one transaction invites lock-upgrade deadlocks, which is itself an
+	// effect worth measuring).
+	ReadFraction float64
+	// ReadTxFraction, when positive, classifies whole top-level
+	// transactions instead: this fraction are read-only (every access a
+	// read), the rest write-only. This is the clean design for the
+	// read-concurrency experiment (E3) — no upgrade deadlocks.
+	ReadTxFraction float64
+	// HotspotFraction routes this share of accesses to object 0.
+	HotspotFraction float64
+	// AbortProb is the probability a leaf subtransaction voluntarily
+	// aborts after doing its work.
+	AbortProb float64
+	// ThinkNs sleeps this many nanoseconds after each access — latency
+	// (I/O, downstream calls) incurred while holding locks. Sleeping
+	// rather than spinning lets transactions overlap regardless of core
+	// count, which is what the lock discipline governs.
+	ThinkNs int
+	// Exclusive selects the exclusive-locking baseline (all accesses
+	// treated as writes).
+	Exclusive bool
+	// Sequential runs subtransactions sequentially instead of
+	// concurrently (the serial-execution baseline when combined with
+	// Concurrency=1).
+	Sequential bool
+	// Record enables formal event recording (for post-run verification).
+	Record bool
+	// Retries bounds deadlock-retry attempts per transaction.
+	Retries int
+	// Seed drives the workload's randomness.
+	Seed int64
+}
+
+// Validate fills defaults and rejects nonsense.
+func (w *Workload) Validate() error {
+	if w.Objects <= 0 || w.Transactions <= 0 {
+		return errors.New("sim: need positive Objects and Transactions")
+	}
+	if w.Concurrency <= 0 {
+		w.Concurrency = 1
+	}
+	if w.Fanout <= 0 {
+		w.Fanout = 1
+	}
+	if w.OpsPerLeaf <= 0 {
+		w.OpsPerLeaf = 1
+	}
+	if w.Retries <= 0 {
+		w.Retries = 20
+	}
+	if w.ReadFraction < 0 || w.ReadFraction > 1 {
+		return errors.New("sim: ReadFraction out of [0,1]")
+	}
+	return nil
+}
+
+// Result summarises a run.
+type Result struct {
+	Workload  Workload
+	Duration  time.Duration
+	Committed int
+	Aborted   int // transactions that gave up (after retries)
+	Retried   int // deadlock retries performed
+	Ops       int64
+	Stats     nestedtx.Stats
+	Manager   *nestedtx.Manager // for verification / state inspection
+	// Latencies holds one end-to-end latency sample per submitted
+	// transaction (including deadlock retries).
+	Latencies []time.Duration
+}
+
+// Percentile returns the p'th percentile latency (p in [0,100]) over the
+// collected samples, or 0 when none were collected.
+func (r Result) Percentile(p float64) time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(r.Latencies))
+	copy(sorted, r.Latencies)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p / 100 * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Throughput returns committed transactions per second.
+func (r Result) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Committed) / r.Duration.Seconds()
+}
+
+// OpsPerSec returns accesses per second.
+func (r Result) OpsPerSec() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Duration.Seconds()
+}
+
+// Run executes the workload and returns its measurements.
+func Run(w Workload) (Result, error) {
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	var opts []nestedtx.Option
+	if w.Record {
+		opts = append(opts, nestedtx.WithRecording())
+	}
+	if w.Exclusive {
+		opts = append(opts, nestedtx.WithExclusiveLocking())
+	}
+	m := nestedtx.NewManager(opts...)
+	for i := 0; i < w.Objects; i++ {
+		if err := m.Register(objName(i), nestedtx.Counter{}); err != nil {
+			return Result{}, err
+		}
+	}
+
+	var ops, committed, aborted, retried int64
+	var latMu sync.Mutex
+	latencies := make([]time.Duration, 0, w.Transactions)
+	jobs := make(chan int64)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < w.Concurrency; c++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(w.Seed ^ int64(worker)*0x9e3779b9))
+			for range jobs {
+				t0 := time.Now()
+				err := runOne(m, &w, rng, &ops, &retried)
+				lat := time.Since(t0)
+				latMu.Lock()
+				latencies = append(latencies, lat)
+				latMu.Unlock()
+				if err != nil {
+					atomic.AddInt64(&aborted, 1)
+				} else {
+					atomic.AddInt64(&committed, 1)
+				}
+			}
+		}(c)
+	}
+	for i := int64(0); i < int64(w.Transactions); i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	dur := time.Since(start)
+
+	return Result{
+		Workload:  w,
+		Duration:  dur,
+		Committed: int(committed),
+		Aborted:   int(aborted),
+		Retried:   int(retried),
+		Ops:       atomic.LoadInt64(&ops),
+		Stats:     m.Stats(),
+		Manager:   m,
+		Latencies: latencies,
+	}, nil
+}
+
+// runOne submits one top-level transaction, retrying deadlock victims
+// with jittered backoff so competing victims restart out of phase.
+func runOne(m *nestedtx.Manager, w *Workload, rng *rand.Rand, ops, retried *int64) error {
+	var err error
+	mode := opMix
+	if w.ReadTxFraction > 0 {
+		if rng.Float64() < w.ReadTxFraction {
+			mode = allReads
+		} else {
+			mode = allWrites
+		}
+	}
+	for attempt := 0; attempt < w.Retries; attempt++ {
+		err = m.Run(func(tx *nestedtx.Tx) error {
+			return body(tx, w, rng, w.Depth, mode, ops)
+		})
+		if !errors.Is(err, nestedtx.ErrDeadlock) {
+			return err
+		}
+		atomic.AddInt64(retried, 1)
+		shift := attempt
+		if shift > 6 {
+			shift = 6
+		}
+		time.Sleep(time.Duration(rng.Int63n(int64(100<<shift))) * time.Microsecond)
+	}
+	return err
+}
+
+// accessMode says how a transaction's accesses are classified.
+type accessMode int
+
+const (
+	opMix     accessMode = iota // per-access coin flip (Workload.ReadFraction)
+	allReads                    // read-only transaction
+	allWrites                   // write-only transaction
+)
+
+// body is the recursive transaction shape: at depth>0 spawn Fanout
+// subtransactions; at depth 0 perform the leaf accesses.
+func body(tx *nestedtx.Tx, w *Workload, rng *rand.Rand, depth int, mode accessMode, ops *int64) error {
+	if depth <= 0 {
+		return leaf(tx, w, rng, mode, ops)
+	}
+	// Pre-draw child seeds so concurrent children don't share rng.
+	seeds := make([]int64, w.Fanout)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	if w.Sequential {
+		for _, s := range seeds {
+			childRng := rand.New(rand.NewSource(s))
+			if err := tx.SubRetry(w.Retries, func(tx *nestedtx.Tx) error {
+				return childBody(tx, w, childRng, depth-1, mode, ops)
+			}); err != nil && !isVoluntary(err) {
+				return err
+			}
+		}
+		return nil
+	}
+	handles := make([]*nestedtx.Handle, 0, w.Fanout)
+	for _, s := range seeds {
+		childRng := rand.New(rand.NewSource(s))
+		handles = append(handles, tx.Go(func(tx *nestedtx.Tx) error {
+			return childBody(tx, w, childRng, depth-1, mode, ops)
+		}))
+	}
+	for _, h := range handles {
+		if err := h.Wait(); err != nil && !isVoluntary(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+func childBody(tx *nestedtx.Tx, w *Workload, rng *rand.Rand, depth int, mode accessMode, ops *int64) error {
+	if err := body(tx, w, rng, depth, mode, ops); err != nil {
+		return err
+	}
+	if w.AbortProb > 0 && rng.Float64() < w.AbortProb {
+		return errVoluntaryAbort
+	}
+	return nil
+}
+
+var errVoluntaryAbort = errors.New("sim: voluntary abort")
+
+func isVoluntary(err error) bool { return errors.Is(err, errVoluntaryAbort) }
+
+func leaf(tx *nestedtx.Tx, w *Workload, rng *rand.Rand, mode accessMode, ops *int64) error {
+	n := w.OpsPerLeaf
+	if mode == allWrites && w.WriterOps > 0 {
+		n = w.WriterOps
+	}
+	for i := 0; i < n; i++ {
+		obj := objName(pickObject(w, rng))
+		read := false
+		switch mode {
+		case allReads:
+			read = true
+		case allWrites:
+			read = false
+		default:
+			read = rng.Float64() < w.ReadFraction
+		}
+		var err error
+		if read {
+			_, err = tx.Read(obj, nestedtx.CtrGet{})
+		} else {
+			_, err = tx.Write(obj, nestedtx.CtrAdd{Delta: 1})
+		}
+		if err != nil {
+			return err
+		}
+		atomic.AddInt64(ops, 1)
+		think(w.ThinkNs)
+	}
+	return nil
+}
+
+func pickObject(w *Workload, rng *rand.Rand) int {
+	if w.HotspotFraction > 0 && rng.Float64() < w.HotspotFraction {
+		return 0
+	}
+	return rng.Intn(w.Objects)
+}
+
+func objName(i int) string { return fmt.Sprintf("obj%d", i) }
+
+// think models per-access latency while holding locks.
+func think(ns int) {
+	if ns <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(ns))
+}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"testing"
+
+	"nestedtx"
+)
+
+func TestRunSmallWorkloadVerifies(t *testing.T) {
+	w := Workload{
+		Objects:      3,
+		Transactions: 20,
+		Concurrency:  4,
+		Depth:        1,
+		Fanout:       2,
+		OpsPerLeaf:   2,
+		ReadFraction: 0.5,
+		AbortProb:    0.1,
+		Record:       true,
+		Seed:         42,
+	}
+	res, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed+res.Aborted != w.Transactions {
+		t.Fatalf("committed %d + aborted %d != %d", res.Committed, res.Aborted, w.Transactions)
+	}
+	if err := res.Manager.Verify(); err != nil {
+		t.Fatalf("real run failed Theorem-34 verification: %v", err)
+	}
+	if err := res.Manager.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExclusiveVerifies(t *testing.T) {
+	w := Workload{
+		Objects:      2,
+		Transactions: 15,
+		Concurrency:  4,
+		Depth:        1,
+		Fanout:       2,
+		OpsPerLeaf:   2,
+		ReadFraction: 0.8,
+		Exclusive:    true,
+		Record:       true,
+		Seed:         7,
+	}
+	res, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Manager.Verify(); err != nil {
+		t.Fatalf("exclusive run failed verification: %v", err)
+	}
+}
+
+func TestCounterConservation(t *testing.T) {
+	// With no voluntary aborts and full retries, every transaction
+	// commits; the counters must sum to the number of increments.
+	w := Workload{
+		Objects:      4,
+		Transactions: 40,
+		Concurrency:  8,
+		Depth:        1,
+		Fanout:       2,
+		OpsPerLeaf:   3,
+		ReadFraction: 0, // all increments
+		Retries:      200,
+		Seed:         3,
+	}
+	res, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted != 0 {
+		t.Fatalf("aborted %d transactions; retries should have absorbed deadlocks", res.Aborted)
+	}
+	var total int64
+	for i := 0; i < w.Objects; i++ {
+		s, err := res.Manager.State(objName(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += s.(nestedtx.Counter).N
+	}
+	want := int64(res.Committed) * int64(w.Fanout) * int64(w.OpsPerLeaf)
+	if total != want {
+		t.Fatalf("counter total %d, want %d (ops recorded %d)", total, want, res.Ops)
+	}
+}
+
+func TestValidateDefaults(t *testing.T) {
+	w := Workload{Objects: 1, Transactions: 1}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Concurrency != 1 || w.Fanout != 1 || w.OpsPerLeaf != 1 || w.Retries == 0 {
+		t.Fatalf("defaults not applied: %+v", w)
+	}
+	bad := Workload{}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero workload must be rejected")
+	}
+	bad2 := Workload{Objects: 1, Transactions: 1, ReadFraction: 1.5}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("out-of-range ReadFraction must be rejected")
+	}
+}
+
+func TestRunMVTOVerifiesSerializable(t *testing.T) {
+	w := Workload{
+		Objects:      4,
+		Transactions: 60,
+		Concurrency:  8,
+		Depth:        0,
+		OpsPerLeaf:   3,
+		ReadFraction: 0.5,
+		Retries:      100,
+		Seed:         11,
+	}
+	res, err := RunMVTO(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed+res.Aborted != w.Transactions {
+		t.Fatalf("committed %d + aborted %d != %d", res.Committed, res.Aborted, w.Transactions)
+	}
+	if err := res.Manager.VerifySerializable(res.Initial); err != nil {
+		t.Fatalf("MVTO run not serializable: %v", err)
+	}
+}
+
+func TestRunMVTORejectsNesting(t *testing.T) {
+	w := Workload{Objects: 1, Transactions: 1, Depth: 1}
+	if _, err := RunMVTO(w); err == nil {
+		t.Fatal("nested workloads must be rejected by the MVTO engine")
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	w := Workload{
+		Objects:      2,
+		Transactions: 16,
+		Concurrency:  4,
+		OpsPerLeaf:   1,
+		ReadFraction: 0.5,
+		Seed:         5,
+	}
+	res, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Latencies) != w.Transactions {
+		t.Fatalf("latency samples = %d, want %d", len(res.Latencies), w.Transactions)
+	}
+	if res.Percentile(0) > res.Percentile(50) || res.Percentile(50) > res.Percentile(100) {
+		t.Fatal("percentiles must be monotone")
+	}
+	if (Result{}).Percentile(50) != 0 {
+		t.Fatal("empty result percentile must be 0")
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSweepsSmoke runs one point of each standard sweep and renders the
+// tables — the experiment plumbing itself under test.
+func TestSweepsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow in -short mode")
+	}
+	var sb strings.Builder
+
+	e3, err := ReadFractionSweep(1, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e3) != 1 || e3[0].RW.Committed == 0 || !e3[0].HasBase {
+		t.Fatalf("E3 point malformed: %+v", e3[0])
+	}
+	if err := WriteTable(&sb, "E3", e3); err != nil {
+		t.Fatal(err)
+	}
+
+	e4, err := DepthSweep(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e4) != 2 {
+		t.Fatalf("E4 points = %d", len(e4))
+	}
+	if err := WriteTable(&sb, "E4", e4); err != nil {
+		t.Fatal(err)
+	}
+
+	e5, err := AbortSweep(1, []float64{0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e5) != 1 || e5[0].RW.Committed == 0 {
+		t.Fatalf("E5 point malformed")
+	}
+
+	e7, err := InheritanceSweep(1, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e7) != 2 {
+		t.Fatalf("E7 points = %d", len(e7))
+	}
+
+	e9, err := EngineSweep(1, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e9) != 1 || e9[0].MVTO.Committed == 0 {
+		t.Fatalf("E9 point malformed")
+	}
+	if err := WriteEngineTable(&sb, "E9", e9); err != nil {
+		t.Fatal(err)
+	}
+
+	out := sb.String()
+	for _, want := range []string{"E3", "E4", "rw tx/s", "mvto tx/s", "read=50%", "depth=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package system
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nestedtx/internal/adt"
+)
+
+// GenConfig parameterises random system generation for property tests and
+// experiments.
+type GenConfig struct {
+	// Objects is how many shared objects to create (≥1). Object kinds
+	// rotate through register, counter, account, set, table.
+	Objects int
+	// TopLevel is the number of top-level transactions (children of T0).
+	TopLevel int
+	// MaxDepth bounds nesting below a top-level transaction (0 = accesses
+	// only).
+	MaxDepth int
+	// MaxFanout bounds children per transaction (≥1).
+	MaxFanout int
+	// ReadFraction is the probability an access is a read.
+	ReadFraction float64
+	// SubProb is the probability a child is a subtransaction rather than
+	// an access (while depth remains).
+	SubProb float64
+	// SeqProb is the probability a transaction runs its children
+	// sequentially.
+	SeqProb float64
+}
+
+// DefaultGenConfig returns a moderate configuration exercising all ADTs.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Objects:      3,
+		TopLevel:     3,
+		MaxDepth:     2,
+		MaxFanout:    3,
+		ReadFraction: 0.5,
+		SubProb:      0.4,
+		SeqProb:      0.5,
+	}
+}
+
+// Generate builds a random System from cfg using rng.
+func Generate(rng *rand.Rand, cfg GenConfig) (*System, error) {
+	if cfg.Objects < 1 || cfg.TopLevel < 1 || cfg.MaxFanout < 1 {
+		return nil, fmt.Errorf("system: Generate: need ≥1 object, top-level and fanout")
+	}
+	objects := make(map[string]adt.State, cfg.Objects)
+	kinds := make(map[string]int, cfg.Objects)
+	for i := 0; i < cfg.Objects; i++ {
+		name := fmt.Sprintf("obj%d", i)
+		kind := i % 5
+		kinds[name] = kind
+		switch kind {
+		case 0:
+			objects[name] = adt.NewRegister(int64(rng.Intn(100)))
+		case 1:
+			objects[name] = adt.Counter{N: int64(rng.Intn(100))}
+		case 2:
+			objects[name] = adt.Account{Balance: int64(50 + rng.Intn(100))}
+		case 3:
+			objects[name] = adt.NewIntSet(int64(rng.Intn(5)), int64(rng.Intn(5)))
+		default:
+			objects[name] = adt.NewTable(map[string]adt.Value{"k0": int64(rng.Intn(10))})
+		}
+	}
+	g := &generator{rng: rng, cfg: cfg, kinds: kinds}
+	top := make([]ChildSpec, cfg.TopLevel)
+	for i := range top {
+		top[i] = Sub(g.program(cfg.MaxDepth))
+	}
+	return New(objects, top)
+}
+
+type generator struct {
+	rng   *rand.Rand
+	cfg   GenConfig
+	kinds map[string]int
+}
+
+func (g *generator) program(depth int) *Program {
+	n := 1 + g.rng.Intn(g.cfg.MaxFanout)
+	p := &Program{Sequential: g.rng.Float64() < g.cfg.SeqProb}
+	for i := 0; i < n; i++ {
+		if depth > 0 && g.rng.Float64() < g.cfg.SubProb {
+			p.Children = append(p.Children, Sub(g.program(depth-1)))
+		} else {
+			p.Children = append(p.Children, g.access())
+		}
+	}
+	return p
+}
+
+func (g *generator) access() ChildSpec {
+	x := fmt.Sprintf("obj%d", g.rng.Intn(g.cfg.Objects))
+	read := g.rng.Float64() < g.cfg.ReadFraction
+	var op adt.Op
+	switch g.kinds[x] {
+	case 0:
+		if read {
+			op = adt.RegRead{}
+		} else {
+			op = adt.RegWrite{V: int64(g.rng.Intn(1000))}
+		}
+	case 1:
+		if read {
+			op = adt.CtrGet{}
+		} else {
+			op = adt.CtrAdd{Delta: int64(g.rng.Intn(21) - 10)}
+		}
+	case 2:
+		if read {
+			op = adt.AcctBalance{}
+		} else if g.rng.Intn(2) == 0 {
+			op = adt.AcctDeposit{Amount: int64(g.rng.Intn(50))}
+		} else {
+			op = adt.AcctWithdraw{Amount: int64(g.rng.Intn(80))}
+		}
+	case 3:
+		switch {
+		case read:
+			if g.rng.Intn(2) == 0 {
+				op = adt.SetContains{X: int64(g.rng.Intn(8))}
+			} else {
+				op = adt.SetSize{}
+			}
+		case g.rng.Intn(2) == 0:
+			op = adt.SetInsert{X: int64(g.rng.Intn(8))}
+		default:
+			op = adt.SetRemove{X: int64(g.rng.Intn(8))}
+		}
+	default:
+		key := fmt.Sprintf("k%d", g.rng.Intn(3))
+		switch {
+		case read:
+			op = adt.TblGet{K: key}
+		case g.rng.Intn(2) == 0:
+			op = adt.TblPut{K: key, V: int64(g.rng.Intn(100))}
+		default:
+			op = adt.TblDelete{K: key}
+		}
+	}
+	return Access(x, op)
+}

@@ -1,0 +1,212 @@
+// Package system composes scripted transaction automata with R/W Locking
+// objects and the generic scheduler into a R/W Locking system (§5.3), and
+// with basic objects and the serial scheduler into a serial system (§3.4).
+//
+// Transaction automata in the paper are black boxes constrained only by
+// well-formedness. Here they are scripted by Programs: a Program names the
+// children a transaction will request (subprograms or accesses) and whether
+// it requests them sequentially (awaiting each child's report) or in
+// parallel. The seeded Driver resolves all remaining nondeterminism —
+// which enabled operation of which component happens next — reproducibly,
+// which turns the automaton composition into a generator of concurrent
+// (and serial) schedules for the correctness experiments.
+package system
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nestedtx/internal/adt"
+	"nestedtx/internal/event"
+	"nestedtx/internal/tree"
+)
+
+// ChildSpec declares one child of a scripted transaction: either a nested
+// subprogram or a leaf access.
+type ChildSpec struct {
+	Sub    *Program
+	Object string
+	Op     adt.Op
+}
+
+// Access returns a ChildSpec for a leaf access applying op to object x.
+func Access(x string, op adt.Op) ChildSpec { return ChildSpec{Object: x, Op: op} }
+
+// Sub returns a ChildSpec for a nested subtransaction running p.
+func Sub(p *Program) ChildSpec { return ChildSpec{Sub: p} }
+
+// Program scripts a non-access transaction automaton: the children it
+// requests and in what discipline. After every requested child has been
+// reported, the transaction requests commit with the number of committed
+// children as its value.
+type Program struct {
+	Children []ChildSpec
+	// Sequential requests child i+1 only after child i has been reported;
+	// otherwise all children may be requested immediately (concurrent
+	// siblings — the behaviour serial systems forbid and R/W Locking
+	// systems allow).
+	Sequential bool
+}
+
+// System is a fully built composition: the system type (objects and access
+// classification) plus the program of every non-access transaction.
+type System struct {
+	st       *event.SystemType
+	programs map[tree.TID]*Program
+}
+
+// New builds a System from object initial states and the top-level
+// programs (the children of the root T0).
+func New(objects map[string]adt.State, top []ChildSpec) (*System, error) {
+	st := event.NewSystemType()
+	for x, init := range objects {
+		st.DefineObject(x, init)
+	}
+	sys := &System{st: st, programs: make(map[tree.TID]*Program)}
+	root := &Program{Children: top}
+	if err := sys.register(tree.Root, root); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+func (sys *System) register(t tree.TID, p *Program) error {
+	sys.programs[t] = p
+	for i, c := range p.Children {
+		ct := t.Child(i)
+		switch {
+		case c.Sub != nil && c.Op != nil:
+			return fmt.Errorf("system: child %s is both subprogram and access", ct)
+		case c.Sub != nil:
+			if err := sys.register(ct, c.Sub); err != nil {
+				return err
+			}
+		case c.Op != nil:
+			if err := sys.st.DefineAccess(ct, c.Object, c.Op); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("system: child %s is neither subprogram nor access", ct)
+		}
+	}
+	return nil
+}
+
+// SystemType exposes the built system type.
+func (sys *System) SystemType() *event.SystemType { return sys.st }
+
+// Program returns the program of non-access transaction t.
+func (sys *System) Program(t tree.TID) (*Program, bool) {
+	p, ok := sys.programs[t]
+	return p, ok
+}
+
+// Transactions returns all scripted (non-access) transactions, sorted.
+func (sys *System) Transactions() []tree.TID {
+	out := make([]tree.TID, 0, len(sys.programs))
+	for t := range sys.programs {
+		out = append(out, t)
+	}
+	sortTIDs(out)
+	return out
+}
+
+// childIndex extracts the child index of t under its parent.
+func childIndex(t tree.TID) int {
+	s := string(t)
+	i := strings.LastIndex(s, ".")
+	n, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		panic("system: bad TID " + s)
+	}
+	return n
+}
+
+// txState is the runtime state of one scripted transaction automaton.
+type txState struct {
+	id   tree.TID
+	prog *Program
+
+	created         bool
+	requested       []bool // per child index
+	reported        []bool
+	childCommitted  []bool
+	requestedCommit bool
+}
+
+func newTxState(id tree.TID, p *Program) *txState {
+	n := len(p.Children)
+	return &txState{
+		id:             id,
+		prog:           p,
+		requested:      make([]bool, n),
+		reported:       make([]bool, n),
+		childCommitted: make([]bool, n),
+	}
+}
+
+// enabledOutputs returns the transaction automaton's currently enabled
+// output operations.
+func (tx *txState) enabledOutputs() []event.Event {
+	if !tx.created || tx.requestedCommit {
+		return nil
+	}
+	var out []event.Event
+	allRequested, allReported := true, true
+	prefixReported := true
+	for i := range tx.prog.Children {
+		if !tx.requested[i] {
+			allRequested = false
+			ok := !tx.prog.Sequential || prefixReported
+			if ok {
+				out = append(out, event.Event{Kind: event.RequestCreate, T: tx.id.Child(i)})
+				if tx.prog.Sequential {
+					// Only the first unrequested child may be requested.
+					prefixReported = false
+				}
+			}
+		}
+		if !tx.reported[i] {
+			allReported = false
+			prefixReported = false
+		}
+	}
+	if allRequested && allReported && tx.id != tree.Root {
+		out = append(out, event.Event{
+			Kind:  event.RequestCommit,
+			T:     tx.id,
+			Value: tx.commitValue(),
+		})
+	}
+	return out
+}
+
+// commitValue is the deterministic value the scripted transaction returns:
+// the number of its children that committed.
+func (tx *txState) commitValue() event.Value {
+	n := int64(0)
+	for _, c := range tx.childCommitted {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// handleCreate records delivery of CREATE.
+func (tx *txState) handleCreate() { tx.created = true }
+
+// handleReport records delivery of a child's report.
+func (tx *txState) handleReport(child tree.TID, committed bool) {
+	i := childIndex(child)
+	if i < len(tx.reported) && !tx.reported[i] {
+		tx.reported[i] = true
+		tx.childCommitted[i] = committed
+	}
+}
+
+func sortTIDs(ts []tree.TID) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+}

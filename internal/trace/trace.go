@@ -1,0 +1,177 @@
+// Package trace renders schedules for humans: per-transaction fates, the
+// transaction tree, and side-by-side views of a concurrent schedule and
+// its serial witness. It backs cmd/txtrace and is handy in test failure
+// output.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"nestedtx/internal/event"
+	"nestedtx/internal/tree"
+)
+
+// Fate summarises what happened to one transaction in a schedule.
+type Fate struct {
+	T         tree.TID
+	IsAccess  bool
+	Object    string // for accesses
+	Op        string // for accesses
+	Requested bool
+	Created   bool
+	Committed bool
+	Aborted   bool
+	Orphan    bool
+	Value     event.Value // commit-request value, if any
+	HasValue  bool
+}
+
+// State renders the fate as one word.
+func (f Fate) State() string {
+	switch {
+	case f.Committed:
+		return "committed"
+	case f.Aborted:
+		return "aborted"
+	case f.Created:
+		return "live"
+	case f.Requested:
+		return "requested"
+	default:
+		return "unborn"
+	}
+}
+
+// Fates computes the fate of every transaction mentioned in s, sorted by
+// name.
+func Fates(s event.Schedule, st *event.SystemType) []Fate {
+	m := make(map[tree.TID]*Fate)
+	get := func(t tree.TID) *Fate {
+		f := m[t]
+		if f == nil {
+			f = &Fate{T: t}
+			if a, ok := st.AccessInfo(t); ok {
+				f.IsAccess = true
+				f.Object = a.Object
+				f.Op = a.Op.String()
+			}
+			m[t] = f
+		}
+		return f
+	}
+	for _, e := range s {
+		switch e.Kind {
+		case event.RequestCreate:
+			get(e.T).Requested = true
+		case event.Create:
+			f := get(e.T)
+			f.Requested = f.Requested || e.T == tree.Root
+			f.Created = true
+		case event.RequestCommit:
+			f := get(e.T)
+			f.Value = e.Value
+			f.HasValue = true
+		case event.Commit:
+			get(e.T).Committed = true
+		case event.Abort:
+			get(e.T).Aborted = true
+		}
+	}
+	out := make([]Fate, 0, len(m))
+	for t, f := range m {
+		f.Orphan = s.IsOrphan(t)
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// WriteFates renders the fate table.
+func WriteFates(w io.Writer, s event.Schedule, st *event.SystemType) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "transaction\tkind\tfate\tvalue\torphan")
+	for _, f := range Fates(s, st) {
+		kind := "tx"
+		if f.IsAccess {
+			kind = fmt.Sprintf("access %s %s", f.Object, f.Op)
+		}
+		val := ""
+		if f.HasValue {
+			val = fmt.Sprintf("%v", f.Value)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%v\n", f.T, kind, f.State(), val, f.Orphan)
+	}
+	return tw.Flush()
+}
+
+// WriteTree renders the transaction tree with fates, indented by depth.
+func WriteTree(w io.Writer, s event.Schedule, st *event.SystemType) error {
+	fates := Fates(s, st)
+	byID := make(map[tree.TID]Fate, len(fates))
+	for _, f := range fates {
+		byID[f.T] = f
+	}
+	// Ensure ancestors appear even if they had no events.
+	all := make(map[tree.TID]struct{})
+	for _, f := range fates {
+		for _, a := range f.T.Ancestors() {
+			all[a] = struct{}{}
+		}
+	}
+	ids := make([]tree.TID, 0, len(all))
+	for t := range all {
+		ids = append(ids, t)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, t := range ids {
+		f, ok := byID[t]
+		state := "(no events)"
+		if ok {
+			state = f.State()
+			if f.IsAccess {
+				state += fmt.Sprintf(" [%s %s]", f.Object, f.Op)
+			}
+			if f.Orphan {
+				state += " orphan"
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s%s  %s\n", strings.Repeat("  ", t.Level()), t, state); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteNumbered prints a schedule one numbered event per line.
+func WriteNumbered(w io.Writer, s event.Schedule) error {
+	for i, e := range s {
+		if _, err := fmt.Fprintf(w, "%4d  %s\n", i, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary returns one line of counts: events, transactions by fate.
+func Summary(s event.Schedule, st *event.SystemType) string {
+	var committed, aborted, live, accesses int
+	for _, f := range Fates(s, st) {
+		if f.IsAccess {
+			accesses++
+		}
+		switch {
+		case f.Committed:
+			committed++
+		case f.Aborted:
+			aborted++
+		case f.Created:
+			live++
+		}
+	}
+	return fmt.Sprintf("%d events, %d committed, %d aborted, %d live, %d accesses",
+		len(s), committed, aborted, live, accesses)
+}

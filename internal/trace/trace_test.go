@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"nestedtx/internal/adt"
+	"nestedtx/internal/event"
+)
+
+func sample(t *testing.T) (event.Schedule, *event.SystemType) {
+	t.Helper()
+	st := event.NewSystemType()
+	st.DefineObject("X", adt.NewRegister(int64(0)))
+	st.MustDefineAccess("T0.0.0", "X", adt.RegWrite{V: int64(1)})
+	s := event.Schedule{
+		{Kind: event.Create, T: "T0"},
+		{Kind: event.RequestCreate, T: "T0.0"},
+		{Kind: event.Create, T: "T0.0"},
+		{Kind: event.RequestCreate, T: "T0.0.0"},
+		{Kind: event.Create, T: "T0.0.0"},
+		{Kind: event.RequestCommit, T: "T0.0.0", Value: int64(1)},
+		{Kind: event.Commit, T: "T0.0.0"},
+		{Kind: event.RequestCreate, T: "T0.1"},
+		{Kind: event.Abort, T: "T0.1"},
+	}
+	return s, st
+}
+
+func TestFates(t *testing.T) {
+	s, st := sample(t)
+	fates := Fates(s, st)
+	byID := map[string]Fate{}
+	for _, f := range fates {
+		byID[string(f.T)] = f
+	}
+	if f := byID["T0.0.0"]; !f.Committed || !f.IsAccess || f.Object != "X" || f.State() != "committed" {
+		t.Fatalf("access fate wrong: %+v", f)
+	}
+	if f := byID["T0.0"]; !f.Created || f.Committed || f.State() != "live" {
+		t.Fatalf("T0.0 fate wrong: %+v", f)
+	}
+	if f := byID["T0.1"]; !f.Aborted || !f.Orphan || f.State() != "aborted" {
+		t.Fatalf("T0.1 fate wrong: %+v", f)
+	}
+	if f := byID["T0"]; f.State() != "live" {
+		t.Fatalf("root fate wrong: %+v", f)
+	}
+	// Sorted by name.
+	for i := 1; i < len(fates); i++ {
+		if fates[i-1].T >= fates[i].T {
+			t.Fatal("fates not sorted")
+		}
+	}
+}
+
+func TestWriteFatesAndTree(t *testing.T) {
+	s, st := sample(t)
+	var sb strings.Builder
+	if err := WriteFates(&sb, s, st); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T0.0.0", "committed", "access X write(1)", "aborted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fate table missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	if err := WriteTree(&sb, s, st); err != nil {
+		t.Fatal(err)
+	}
+	tree := sb.String()
+	if !strings.Contains(tree, "  T0.0  live") || !strings.Contains(tree, "    T0.0.0  committed") {
+		t.Errorf("tree rendering wrong:\n%s", tree)
+	}
+	if !strings.Contains(tree, "orphan") {
+		t.Errorf("orphan flag missing:\n%s", tree)
+	}
+}
+
+func TestWriteNumberedAndSummary(t *testing.T) {
+	s, st := sample(t)
+	var sb strings.Builder
+	if err := WriteNumbered(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "   0  CREATE(T0)") {
+		t.Errorf("numbered output wrong:\n%s", sb.String())
+	}
+	sum := Summary(s, st)
+	for _, want := range []string{"9 events", "1 committed", "1 aborted", "2 live", "1 accesses"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary %q missing %q", sum, want)
+		}
+	}
+}

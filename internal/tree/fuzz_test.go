@@ -1,0 +1,41 @@
+package tree
+
+import "testing"
+
+// FuzzTIDOps: arbitrary strings must never panic the name algebra, and
+// for valid names the LCA/ancestry laws must hold.
+func FuzzTIDOps(f *testing.F) {
+	f.Add("T0", "T0.1")
+	f.Add("T0.1.2", "T0.12")
+	f.Add("", "banana")
+	f.Add("T0.0.0.0.0", "T0.0")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		ta, tb := TID(a), TID(b)
+		_ = ta.Valid()
+		_ = ta.Parent()
+		_ = ta.Level()
+		_ = ta.IsAncestorOf(tb)
+		if !ta.Valid() || !tb.Valid() {
+			return
+		}
+		l := LCA(ta, tb)
+		if !l.Valid() {
+			t.Fatalf("LCA(%q,%q) = %q invalid", a, b, l)
+		}
+		if !l.IsAncestorOf(ta) || !l.IsAncestorOf(tb) {
+			t.Fatalf("LCA(%q,%q) = %q not a common ancestor", a, b, l)
+		}
+		if LCA(ta, tb) != LCA(tb, ta) {
+			t.Fatal("LCA not symmetric")
+		}
+		if ta.IsAncestorOf(tb) && tb.IsAncestorOf(ta) && ta != tb {
+			t.Fatal("mutual ancestry of distinct names")
+		}
+		if l != ta && l != tb {
+			ca := l.ChildToward(ta)
+			if ca.IsAncestorOf(tb) {
+				t.Fatalf("child of LCA toward %q is ancestor of %q", a, b)
+			}
+		}
+	})
+}

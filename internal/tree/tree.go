@@ -1,0 +1,258 @@
+// Package tree implements the transaction naming tree of Fekete, Lynch,
+// Merritt & Weihl (PODS 1987) — the "system type".
+//
+// The pattern of transaction nesting is a set of transaction names organized
+// into a tree by parent(), with T0 as the root. The tree is, in general, an
+// infinite structure with infinite branching; it is a predefined naming
+// scheme for all transactions that might ever be invoked. Only some names
+// take steps in any particular execution, so the tree here is lazy: a TID is
+// just a path from the root, and ancestry is computed from the path.
+//
+// A transaction is its own ancestor and descendant (the paper's convention);
+// Proper* variants exclude the transaction itself.
+package tree
+
+import (
+	"strconv"
+	"strings"
+)
+
+// TID names a transaction: the root is "T0", and the i'th child of a
+// transaction T is named T + "." + i. The empty TID ("") is invalid.
+//
+// Using the path as the identity makes Parent, LCA and ancestry pure string
+// computations, with no shared tree structure to synchronize on.
+type TID string
+
+// Root is T0, the "mythical" root transaction modelling the external
+// environment. The classical (unnested) transactions of concurrency-control
+// theory are the children of Root.
+const Root TID = "T0"
+
+// sep separates path components within a TID.
+const sep = "."
+
+// Child returns the name of the i'th child of t.
+func (t TID) Child(i int) TID {
+	return TID(string(t) + sep + strconv.Itoa(i))
+}
+
+// IsRoot reports whether t is the root transaction T0.
+func (t TID) IsRoot() bool { return t == Root }
+
+// Valid reports whether t is a well-formed transaction name: "T0" followed
+// by zero or more ".<number>" components.
+func (t TID) Valid() bool {
+	s := string(t)
+	if !strings.HasPrefix(s, string(Root)) {
+		return false
+	}
+	s = s[len(Root):]
+	for s != "" {
+		if !strings.HasPrefix(s, sep) {
+			return false
+		}
+		s = s[len(sep):]
+		i := 0
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+		if i == 0 {
+			return false
+		}
+		s = s[i:]
+	}
+	return true
+}
+
+// Parent returns the parent of t. Parent of the root is the empty TID.
+func (t TID) Parent() TID {
+	i := strings.LastIndex(string(t), sep)
+	if i < 0 {
+		return ""
+	}
+	return t[:i]
+}
+
+// Level returns the depth of t in the tree; the root has level 0.
+func (t TID) Level() int {
+	return strings.Count(string(t), sep)
+}
+
+// IsAncestorOf reports whether t is an ancestor of u (inclusive: every
+// transaction is an ancestor of itself).
+func (t TID) IsAncestorOf(u TID) bool {
+	if t == u {
+		return true
+	}
+	return strings.HasPrefix(string(u), string(t)+sep)
+}
+
+// IsProperAncestorOf reports whether t is a strict ancestor of u.
+func (t TID) IsProperAncestorOf(u TID) bool {
+	return t != u && t.IsAncestorOf(u)
+}
+
+// IsDescendantOf reports whether t is a descendant of u (inclusive).
+func (t TID) IsDescendantOf(u TID) bool { return u.IsAncestorOf(t) }
+
+// IsProperDescendantOf reports whether t is a strict descendant of u.
+func (t TID) IsProperDescendantOf(u TID) bool { return u.IsProperAncestorOf(t) }
+
+// AreSiblings reports whether t and u are distinct children of the same
+// parent.
+func AreSiblings(t, u TID) bool {
+	return t != u && !t.IsRoot() && !u.IsRoot() && t.Parent() == u.Parent()
+}
+
+// LCA returns the least common ancestor of t and u. Both must be valid
+// names in the same tree (rooted at T0), so an LCA always exists.
+func LCA(t, u TID) TID {
+	if t.IsAncestorOf(u) {
+		return t
+	}
+	if u.IsAncestorOf(t) {
+		return u
+	}
+	tp, up := t.components(), u.components()
+	n := 0
+	for n < len(tp) && n < len(up) && tp[n] == up[n] {
+		n++
+	}
+	return fromComponents(tp[:n])
+}
+
+// ChildToward returns the child of t on the path to descendant u.
+// It panics if t is not a proper ancestor of u.
+func (t TID) ChildToward(u TID) TID {
+	if !t.IsProperAncestorOf(u) {
+		panic("tree: ChildToward: " + string(t) + " is not a proper ancestor of " + string(u))
+	}
+	rest := string(u)[len(t)+len(sep):]
+	if i := strings.Index(rest, sep); i >= 0 {
+		rest = rest[:i]
+	}
+	return TID(string(t) + sep + rest)
+}
+
+// Ancestors returns t's ancestors from the root down to t itself
+// (inclusive, in root-first order).
+func (t TID) Ancestors() []TID {
+	comps := t.components()
+	out := make([]TID, 0, len(comps))
+	for i := 1; i <= len(comps); i++ {
+		out = append(out, fromComponents(comps[:i]))
+	}
+	return out
+}
+
+// ProperAncestors returns t's ancestors from the root down to t's parent,
+// excluding t itself, in root-first order.
+func (t TID) ProperAncestors() []TID {
+	a := t.Ancestors()
+	return a[:len(a)-1]
+}
+
+func (t TID) components() []string {
+	return strings.Split(string(t), sep)
+}
+
+func fromComponents(c []string) TID {
+	return TID(strings.Join(c, sep))
+}
+
+// Set is a set of transaction IDs. The zero value is not usable; use
+// NewSet. Set is not safe for concurrent use.
+type Set map[TID]struct{}
+
+// NewSet returns a set containing the given members.
+func NewSet(ts ...TID) Set {
+	s := make(Set, len(ts))
+	for _, t := range ts {
+		s.Add(t)
+	}
+	return s
+}
+
+// Add inserts t into the set.
+func (s Set) Add(t TID) { s[t] = struct{}{} }
+
+// Remove deletes t from the set.
+func (s Set) Remove(t TID) { delete(s, t) }
+
+// Has reports whether t is a member.
+func (s Set) Has(t TID) bool { _, ok := s[t]; return ok }
+
+// Len returns the number of members.
+func (s Set) Len() int { return len(s) }
+
+// Clone returns a copy of the set.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	for t := range s {
+		c.Add(t)
+	}
+	return c
+}
+
+// Members returns the members in unspecified order.
+func (s Set) Members() []TID {
+	out := make([]TID, 0, len(s))
+	for t := range s {
+		out = append(out, t)
+	}
+	return out
+}
+
+// RemoveDescendantsOf deletes every member that is a descendant
+// (inclusive) of t.
+func (s Set) RemoveDescendantsOf(t TID) {
+	for u := range s {
+		if u.IsDescendantOf(t) {
+			s.Remove(u)
+		}
+	}
+}
+
+// AllSubsetOfAncestors reports whether every member of s is an ancestor of
+// t. This is the lock-compatibility test of Moss' algorithm: an access may
+// proceed only when every holder of a conflicting lock is an ancestor.
+func (s Set) AllSubsetOfAncestors(t TID) bool {
+	for u := range s {
+		if !u.IsAncestorOf(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Least returns the least member under the ancestor order: the member that
+// is a descendant of every other member. Moss' lockholder sets always form
+// a chain (Lemma 21), so when the set is non-empty and a chain, Least is
+// well defined; ok is false if the set is empty. If the set is not a chain
+// Least returns the deepest member (maximum level), which coincides with
+// the chain minimum whenever the invariant holds.
+func (s Set) Least() (TID, bool) {
+	var best TID
+	found := false
+	for u := range s {
+		if !found || u.Level() > best.Level() {
+			best, found = u, true
+		}
+	}
+	return best, found
+}
+
+// IsChain reports whether the members are totally ordered by ancestry —
+// the Lemma 21 invariant for write-lockholder sets.
+func (s Set) IsChain() bool {
+	ms := s.Members()
+	for i := 0; i < len(ms); i++ {
+		for j := i + 1; j < len(ms); j++ {
+			if !ms[i].IsAncestorOf(ms[j]) && !ms[j].IsAncestorOf(ms[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,225 @@
+package nestedtx
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"nestedtx/internal/checker"
+	"nestedtx/internal/core"
+	"nestedtx/internal/event"
+	"nestedtx/internal/lockmgr"
+	"nestedtx/internal/tree"
+)
+
+// ErrDeadlock is returned by an access when its transaction was chosen as
+// the victim of a deadlock cycle; the transaction should be aborted (and
+// may be retried, see [Tx.SubRetry] and [Manager.RunRetry]).
+var ErrDeadlock = lockmgr.ErrDeadlock
+
+// ErrAborted is returned by operations on a transaction that has already
+// aborted (for example because an enclosing transaction aborted it).
+var ErrAborted = errors.New("nestedtx: transaction aborted")
+
+// ErrDone is returned by operations on a transaction whose body has
+// already returned.
+var ErrDone = errors.New("nestedtx: transaction already finished")
+
+// Stats counts lock-manager activity during a run.
+type Stats = lockmgr.Stats
+
+// Option configures a Manager.
+type Option func(*options)
+
+type options struct {
+	record    bool
+	exclusive bool
+}
+
+// WithRecording makes the manager record the formal event schedule of the
+// run, enabling [Manager.Verify] and [Manager.WriteSchedule]. Recording
+// costs one slice append per formal operation.
+func WithRecording() Option { return func(o *options) { o.record = true } }
+
+// WithExclusiveLocking treats every access as a write access. Per the
+// paper (§4.3), Moss' algorithm then degenerates into pure exclusive
+// locking — the baseline system of Lynch & Merritt. Intended for
+// comparison experiments.
+func WithExclusiveLocking() Option { return func(o *options) { o.exclusive = true } }
+
+// Manager owns a universe of named shared objects and runs top-level
+// transactions against them. A Manager is safe for concurrent use.
+type Manager struct {
+	lm   *lockmgr.Manager
+	rec  *event.Recorder
+	mode core.Mode
+
+	mu      sync.Mutex
+	st      *event.SystemType
+	nextTop int
+}
+
+// NewManager returns an empty Manager.
+func NewManager(opts ...Option) *Manager {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var rec *event.Recorder
+	if o.record {
+		rec = event.NewRecorder()
+		// The root transaction T0 (modelling the external environment) is
+		// created once, up front; its creation starts every well-formed
+		// schedule of the root automaton.
+		rec.Record(event.Event{Kind: event.Create, T: tree.Root})
+	}
+	mode := core.ReadWrite
+	if o.exclusive {
+		mode = core.Exclusive
+	}
+	return &Manager{
+		lm:   lockmgr.New(rec, mode),
+		rec:  rec,
+		mode: mode,
+		st:   event.NewSystemType(),
+	}
+}
+
+// Register declares a shared object. It must be called before any
+// transaction touches the object.
+func (m *Manager) Register(name string, initial State) error {
+	m.mu.Lock()
+	m.st.DefineObject(name, initial)
+	m.mu.Unlock()
+	return m.lm.Register(name, initial)
+}
+
+// MustRegister is Register, panicking on error.
+func (m *Manager) MustRegister(name string, initial State) {
+	if err := m.Register(name, initial); err != nil {
+		panic(err)
+	}
+}
+
+// State returns the current committed-to-root view of an object's state.
+// It is only stable when no transactions are in flight.
+func (m *Manager) State(name string) (State, error) {
+	return m.lm.CurrentState(name)
+}
+
+// Stats returns a copy of the lock-manager counters.
+func (m *Manager) Stats() Stats { return m.lm.Stats() }
+
+// Run executes fn as a top-level transaction (a child of the mythical root
+// T0). If fn returns nil the transaction commits — its effects become
+// visible to subsequent transactions; otherwise it aborts and every effect
+// of it and its descendants is rolled back. A panic in fn aborts the
+// transaction and re-panics.
+func (m *Manager) Run(fn func(*Tx) error) error {
+	m.mu.Lock()
+	id := tree.Root.Child(m.nextTop)
+	m.nextTop++
+	m.mu.Unlock()
+	return m.runTx(id, fn)
+}
+
+// RunRetry is Run, retrying up to attempts times when the transaction
+// fails with ErrDeadlock, with jittered exponential backoff between
+// attempts to break victim livelock.
+func (m *Manager) RunRetry(attempts int, fn func(*Tx) error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		err = m.Run(fn)
+		if !errors.Is(err, ErrDeadlock) {
+			return err
+		}
+		backoff(i)
+	}
+	return err
+}
+
+// runTx creates, executes and returns (commits or aborts) transaction id.
+func (m *Manager) runTx(id tree.TID, fn func(*Tx) error) error {
+	m.rec.RecordAll(
+		event.Event{Kind: event.RequestCreate, T: id},
+		event.Event{Kind: event.Create, T: id},
+	)
+	tx := &Tx{mgr: m, id: id, cancel: make(chan struct{})}
+	err := tx.execute(fn)
+	if err != nil {
+		m.lm.Abort(id)
+		return err
+	}
+	v := tx.result()
+	m.rec.Record(event.Event{Kind: event.RequestCommit, T: id, Value: v})
+	m.lm.Commit(id, v)
+	return nil
+}
+
+// Schedule returns a snapshot of the recorded formal schedule (nil without
+// [WithRecording]).
+func (m *Manager) Schedule() event.Schedule { return m.rec.Snapshot() }
+
+// SystemType returns the dynamically grown system type of the run so far.
+func (m *Manager) SystemType() *event.SystemType {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.st
+}
+
+// Verify machine-checks the recorded schedule against the paper's
+// correctness condition: it must be a well-formed concurrent schedule,
+// its projection at every object must replay on the formal R/W Locking
+// object automaton M(X) — pinning the runtime lock manager to the
+// paper's pre/postconditions — and it must be serially correct for the
+// root and every non-orphan transaction (Theorem 34). It requires
+// [WithRecording] and should be called when no transactions are in
+// flight.
+//
+// Verification cost grows with history size (roughly transactions ×
+// events): it is meant for tests and bounded validation runs, not for
+// continuously running production histories.
+func (m *Manager) Verify() error {
+	if m.rec == nil {
+		return fmt.Errorf("nestedtx: Verify requires WithRecording")
+	}
+	sched := m.rec.Snapshot()
+	m.mu.Lock()
+	st := m.st
+	m.mu.Unlock()
+	if err := event.WFConcurrent(sched, st); err != nil {
+		return fmt.Errorf("nestedtx: recorded schedule ill-formed: %w", err)
+	}
+	for _, x := range st.Objects() {
+		if _, err := core.Replay(st, x, m.mode, sched.AtLockObject(st, x)); err != nil {
+			return fmt.Errorf("nestedtx: recorded schedule does not replay on formal M(%s): %w", x, err)
+		}
+	}
+	if err := checker.CheckAll(sched, st); err != nil {
+		return fmt.Errorf("nestedtx: %w", err)
+	}
+	return nil
+}
+
+// CheckInvariants verifies the lock-table invariants (Lemma 21) at this
+// instant.
+func (m *Manager) CheckInvariants() error { return m.lm.CheckInvariants() }
+
+// WriteSchedule dumps the recorded schedule, one operation per line, in
+// the paper's notation.
+func (m *Manager) WriteSchedule(w io.Writer) error {
+	for _, e := range m.rec.Snapshot() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// defineAccess registers a dynamically created access in the system type.
+func (m *Manager) defineAccess(a tree.TID, obj string, op Op) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.st.DefineAccess(a, obj, op)
+}

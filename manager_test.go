@@ -1,0 +1,313 @@
+package nestedtx
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRunCommit(t *testing.T) {
+	m := NewManager(WithRecording())
+	m.MustRegister("r", NewRegister(int64(1)))
+	err := m.Run(func(tx *Tx) error {
+		v, err := tx.Read("r", RegRead{})
+		if err != nil {
+			return err
+		}
+		if v != int64(1) {
+			t.Errorf("read %v, want 1", v)
+		}
+		_, err = tx.Write("r", RegWrite{V: int64(42)})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.State("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.(Register).V != int64(42) {
+		t.Fatalf("state = %v, want 42", s)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAbortRollsBack(t *testing.T) {
+	m := NewManager(WithRecording())
+	m.MustRegister("r", NewRegister(int64(1)))
+	boom := errors.New("boom")
+	err := m.Run(func(tx *Tx) error {
+		if _, err := tx.Write("r", RegWrite{V: int64(99)}); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	s, _ := m.State("r")
+	if s.(Register).V != int64(1) {
+		t.Fatalf("state = %v, want rollback to 1", s)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubAbortIsolated(t *testing.T) {
+	m := NewManager(WithRecording())
+	m.MustRegister("a", Account{Balance: 100})
+	err := m.Run(func(tx *Tx) error {
+		// First subtransaction commits.
+		if err := tx.Sub(func(tx *Tx) error {
+			_, err := tx.Do("a", AcctDeposit{Amount: 10})
+			return err
+		}); err != nil {
+			return err
+		}
+		// Second aborts; its withdrawal must roll back.
+		suberr := tx.Sub(func(tx *Tx) error {
+			if _, err := tx.Do("a", AcctWithdraw{Amount: 60}); err != nil {
+				return err
+			}
+			return errors.New("changed my mind")
+		})
+		if suberr == nil {
+			return errors.New("subtransaction should have failed")
+		}
+		// Parent sees the committed deposit, not the aborted withdrawal.
+		v, err := tx.Do("a", AcctBalance{})
+		if err != nil {
+			return err
+		}
+		if v != int64(110) {
+			return fmt.Errorf("balance inside parent = %v, want 110", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := m.State("a")
+	if s.(Account).Balance != 110 {
+		t.Fatalf("final balance = %v, want 110", s)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSiblings(t *testing.T) {
+	m := NewManager(WithRecording())
+	m.MustRegister("ctr", Counter{})
+	err := m.Run(func(tx *Tx) error {
+		var hs []*Handle
+		for i := 0; i < 8; i++ {
+			hs = append(hs, tx.Go(func(tx *Tx) error {
+				_, err := tx.Do("ctr", CtrAdd{Delta: 1})
+				return err
+			}))
+		}
+		for _, h := range hs {
+			if err := h.Wait(); err != nil {
+				return err
+			}
+		}
+		v, err := tx.Do("ctr", CtrGet{})
+		if err != nil {
+			return err
+		}
+		if v != int64(8) {
+			return fmt.Errorf("counter = %v, want 8", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentTopLevels(t *testing.T) {
+	m := NewManager(WithRecording())
+	m.MustRegister("ctr", Counter{})
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = m.Run(func(tx *Tx) error {
+				_, err := tx.Do("ctr", CtrAdd{Delta: 1})
+				return err
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+	s, _ := m.State("ctr")
+	if s.(Counter).N != 16 {
+		t.Fatalf("counter = %v, want 16", s)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetectedAndVictimized(t *testing.T) {
+	m := NewManager(WithRecording())
+	m.MustRegister("x", NewRegister(int64(0)))
+	m.MustRegister("y", NewRegister(int64(0)))
+	// Two top-level transactions locking x,y in opposite orders, rendezvous
+	// so both hold their first lock before requesting the second.
+	barrier := make(chan struct{}, 2)
+	rendezvous := func() {
+		barrier <- struct{}{}
+		for len(barrier) < 2 {
+		}
+	}
+	var wg sync.WaitGroup
+	res := make([]error, 2)
+	body := func(first, second string) func(*Tx) error {
+		return func(tx *Tx) error {
+			if _, err := tx.Write(first, RegWrite{V: int64(1)}); err != nil {
+				return err
+			}
+			rendezvous()
+			_, err := tx.Write(second, RegWrite{V: int64(2)})
+			return err
+		}
+	}
+	wg.Add(2)
+	go func() { defer wg.Done(); res[0] = m.Run(body("x", "y")) }()
+	go func() { defer wg.Done(); res[1] = m.Run(body("y", "x")) }()
+	wg.Wait()
+	deadlocks := 0
+	for _, err := range res {
+		if errors.Is(err, ErrDeadlock) {
+			deadlocks++
+		} else if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if deadlocks != 1 {
+		t.Fatalf("want exactly 1 deadlock victim, got %d (res=%v)", deadlocks, res)
+	}
+	if m.Stats().Deadlocks == 0 {
+		t.Fatal("stats should count the deadlock")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicAborts(t *testing.T) {
+	m := NewManager(WithRecording())
+	m.MustRegister("r", NewRegister(int64(7)))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic should propagate")
+			}
+		}()
+		_ = m.Run(func(tx *Tx) error {
+			if _, err := tx.Write("r", RegWrite{V: int64(0)}); err != nil {
+				return err
+			}
+			panic("kaboom")
+		})
+	}()
+	s, _ := m.State("r")
+	if s.(Register).V != int64(7) {
+		t.Fatalf("state = %v, want rollback to 7", s)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadWriteGuards(t *testing.T) {
+	m := NewManager()
+	m.MustRegister("r", NewRegister(int64(0)))
+	err := m.Run(func(tx *Tx) error {
+		if _, err := tx.Read("r", RegWrite{V: int64(1)}); err == nil {
+			return errors.New("Read must reject write ops")
+		}
+		if _, err := tx.Write("r", RegRead{}); err == nil {
+			return errors.New("Write must reject read ops")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetryAfterDeadlock(t *testing.T) {
+	m := NewManager()
+	m.MustRegister("x", NewRegister(int64(0)))
+	m.MustRegister("y", NewRegister(int64(0)))
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	res := make([]error, 2)
+	body := func(first, second string) func(*Tx) error {
+		return func(tx *Tx) error {
+			if _, err := tx.Write(first, RegWrite{V: int64(1)}); err != nil {
+				return err
+			}
+			_, err := tx.Write(second, RegWrite{V: int64(2)})
+			return err
+		}
+	}
+	wg.Add(2)
+	go func() { defer wg.Done(); <-start; res[0] = m.RunRetry(10, body("x", "y")) }()
+	go func() { defer wg.Done(); <-start; res[1] = m.RunRetry(10, body("y", "x")) }()
+	close(start)
+	wg.Wait()
+	if res[0] != nil || res[1] != nil {
+		t.Fatalf("retries should eventually succeed: %v %v", res, m.Stats())
+	}
+}
+
+func TestReturnValue(t *testing.T) {
+	m := NewManager()
+	m.MustRegister("r", NewRegister(int64(5)))
+	err := m.Run(func(tx *Tx) error {
+		return tx.Sub(func(tx *Tx) error {
+			v, err := tx.Read("r", RegRead{})
+			if err != nil {
+				return err
+			}
+			tx.Return(v)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnawaitedFailedChildFailsParent(t *testing.T) {
+	m := NewManager()
+	m.MustRegister("r", NewRegister(int64(0)))
+	err := m.Run(func(tx *Tx) error {
+		tx.Go(func(tx *Tx) error { return errors.New("child fails") })
+		return nil // parent "forgets" to Wait
+	})
+	if err == nil {
+		t.Fatal("parent must not commit over an unobserved child failure")
+	}
+}

@@ -1,0 +1,304 @@
+package nestedtx
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nestedtx/internal/event"
+	"nestedtx/internal/tree"
+)
+
+// Tx is a live transaction. A Tx is created by [Manager.Run], [Tx.Sub] or
+// [Tx.Go] and is valid only until its body function returns. The methods
+// of a Tx may be called from the goroutine running its body; concurrency
+// inside a transaction is expressed by spawning subtransactions with
+// [Tx.Go], each of which gets its own Tx.
+type Tx struct {
+	mgr *Manager
+	id  tree.TID
+
+	// cancel closes when the transaction is aborted from outside (an
+	// ancestor aborted); blocked accesses unblock with ErrAborted.
+	cancel chan struct{}
+
+	mu        sync.Mutex
+	nextChild int
+	handles   []*Handle
+	children  []*Tx // live child transactions (for cascading cancel)
+	done      bool
+	aborted   bool
+	value     Value // optional user result, set by Return
+	committed int64 // committed children count (default commit value)
+}
+
+// ID returns the transaction's name in the paper's tree notation (e.g.
+// "T0.2.1").
+func (tx *Tx) ID() string { return string(tx.id) }
+
+// Depth returns the nesting depth (top-level transactions have depth 1).
+func (tx *Tx) Depth() int { return tx.id.Level() }
+
+// Return sets the transaction's commit value, reported to its parent. If
+// never called, the value is the number of committed children.
+func (tx *Tx) Return(v Value) {
+	tx.mu.Lock()
+	tx.value = v
+	tx.mu.Unlock()
+}
+
+func (tx *Tx) result() Value {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.value != nil {
+		return tx.value
+	}
+	return tx.committed
+}
+
+// newChild mints the next child name.
+func (tx *Tx) newChild() tree.TID {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	c := tx.id.Child(tx.nextChild)
+	tx.nextChild++
+	return c
+}
+
+func (tx *Tx) checkUsable() error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.aborted {
+		return ErrAborted
+	}
+	if tx.done {
+		return ErrDone
+	}
+	return nil
+}
+
+// Do performs op on the named object as an access subtransaction, taking a
+// read or write lock according to op.ReadOnly(), blocking until Moss'
+// locking rule admits it. On success the access has committed and its lock
+// is held by tx.
+func (tx *Tx) Do(obj string, op Op) (Value, error) {
+	if err := tx.checkUsable(); err != nil {
+		return nil, err
+	}
+	a := tx.newChild()
+	if err := tx.mgr.defineAccess(a, obj, op); err != nil {
+		return nil, err
+	}
+	tx.mgr.rec.RecordAll(
+		event.Event{Kind: event.RequestCreate, T: a},
+		event.Event{Kind: event.Create, T: a},
+	)
+	v, err := tx.mgr.lm.Acquire(tx.id, a, obj, op, tx.cancel)
+	if err != nil {
+		// The access never responded; the scheduler aborts it.
+		tx.mgr.rec.RecordAll(
+			event.Event{Kind: event.Abort, T: a},
+			event.Event{Kind: event.ReportAbort, T: a},
+		)
+		if errors.Is(err, ErrDeadlock) {
+			return nil, fmt.Errorf("nestedtx: access %s on %s: %w", a, obj, err)
+		}
+		return nil, ErrAborted
+	}
+	tx.mu.Lock()
+	tx.committed++
+	tx.mu.Unlock()
+	return v, nil
+}
+
+// Read performs a read-only op; it errors if op is not read-only — a
+// guard for callers who want the compiler-invisible read/write contract
+// checked at run time.
+func (tx *Tx) Read(obj string, op Op) (Value, error) {
+	if !op.ReadOnly() {
+		return nil, fmt.Errorf("nestedtx: Read with non-read-only op %s", op)
+	}
+	return tx.Do(obj, op)
+}
+
+// Write performs a mutating op; it errors if op is read-only.
+func (tx *Tx) Write(obj string, op Op) (Value, error) {
+	if op.ReadOnly() {
+		return nil, fmt.Errorf("nestedtx: Write with read-only op %s", op)
+	}
+	return tx.Do(obj, op)
+}
+
+// Sub runs fn as a subtransaction and waits for it. A nil return commits
+// the child (its locks and versions pass to tx); an error aborts it,
+// rolling back its effects — tx may continue, retry, or propagate the
+// error.
+func (tx *Tx) Sub(fn func(*Tx) error) error {
+	if err := tx.checkUsable(); err != nil {
+		return err
+	}
+	return tx.runChild(tx.newChild(), fn)
+}
+
+// SubRetry is Sub, retrying up to attempts times while fn fails with
+// ErrDeadlock, with jittered exponential backoff between attempts.
+func (tx *Tx) SubRetry(attempts int, fn func(*Tx) error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		err = tx.Sub(fn)
+		if !errors.Is(err, ErrDeadlock) {
+			return err
+		}
+		backoff(i)
+	}
+	return err
+}
+
+// backoff sleeps a jittered, exponentially growing interval after the
+// attempt'th deadlock, so competing victims restart out of phase.
+func backoff(attempt int) {
+	if attempt > 6 {
+		attempt = 6
+	}
+	max := int64(50<<attempt) * int64(time.Microsecond)
+	time.Sleep(time.Duration(rand.Int63n(max)))
+}
+
+// Handle is a concurrent subtransaction started by [Tx.Go].
+type Handle struct {
+	id       tree.TID
+	done     chan struct{}
+	err      error
+	observed atomic.Bool
+}
+
+// Wait blocks until the subtransaction returns and reports whether it
+// committed (nil) or aborted (its error). Waiting (from the transaction
+// body) marks the outcome observed: a child failure the body saw — and
+// chose to tolerate — does not fail the parent.
+func (h *Handle) Wait() error {
+	h.observed.Store(true)
+	<-h.done
+	return h.err
+}
+
+// ID returns the subtransaction's name.
+func (h *Handle) ID() string { return string(h.id) }
+
+// Go starts fn as a concurrent subtransaction — a sibling running in its
+// own goroutine — and returns a Handle to await it. The parent's commit
+// waits for all spawned subtransactions, so an un-Waited Handle cannot
+// outlive its parent.
+func (tx *Tx) Go(fn func(*Tx) error) *Handle {
+	h := &Handle{done: make(chan struct{})}
+	if err := tx.checkUsable(); err != nil {
+		h.id = tx.id
+		h.err = err
+		close(h.done)
+		return h
+	}
+	c := tx.newChild()
+	h.id = c
+	tx.mu.Lock()
+	tx.handles = append(tx.handles, h)
+	tx.mu.Unlock()
+	go func() {
+		defer close(h.done)
+		h.err = tx.runChild(c, fn)
+	}()
+	return h
+}
+
+// runChild creates, executes and returns child transaction c.
+func (tx *Tx) runChild(c tree.TID, fn func(*Tx) error) error {
+	tx.mgr.rec.RecordAll(
+		event.Event{Kind: event.RequestCreate, T: c},
+		event.Event{Kind: event.Create, T: c},
+	)
+	child := &Tx{mgr: tx.mgr, id: c, cancel: make(chan struct{})}
+	tx.mu.Lock()
+	tx.children = append(tx.children, child)
+	tx.mu.Unlock()
+	err := child.execute(fn)
+	if err != nil {
+		tx.mgr.lm.Abort(c)
+		return err
+	}
+	v := child.result()
+	tx.mgr.rec.Record(event.Event{Kind: event.RequestCommit, T: c, Value: v})
+	tx.mgr.lm.Commit(c, v)
+	tx.mu.Lock()
+	tx.committed++
+	tx.mu.Unlock()
+	return nil
+}
+
+// execute runs the body, waits for spawned subtransactions, and leaves the
+// Tx finished. It returns the error that should abort the transaction, or
+// nil to commit. Panics abort and re-panic.
+func (tx *Tx) execute(fn func(*Tx) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			tx.finish(fmt.Errorf("panic: %v", r))
+			err = fmt.Errorf("nestedtx: transaction %s panicked: %v", tx.id, r)
+			tx.mgr.lm.Abort(tx.id)
+			panic(r)
+		}
+	}()
+	err = fn(tx)
+	return tx.finish(err)
+}
+
+// finish waits for outstanding children (cancelling them first when
+// aborting) and marks the Tx done.
+func (tx *Tx) finish(err error) error {
+	tx.mu.Lock()
+	handles := tx.handles
+	children := tx.children
+	tx.mu.Unlock()
+	if err != nil {
+		// Aborting: unblock descendants waiting on locks.
+		for _, c := range children {
+			c.markAborted()
+		}
+	}
+	for _, h := range handles {
+		<-h.done
+		if err == nil && h.err != nil && !h.observed.Load() {
+			// A spawned subtransaction that failed and was never Waited:
+			// surface the failure rather than silently committing around
+			// an unobserved abort.
+			err = fmt.Errorf("nestedtx: unawaited subtransaction %s failed: %w", h.id, h.err)
+		}
+	}
+	tx.mu.Lock()
+	tx.done = true
+	if err != nil {
+		tx.aborted = true
+	}
+	tx.mu.Unlock()
+	return err
+}
+
+// markAborted cascades an abort signal down the live subtree.
+func (tx *Tx) markAborted() {
+	tx.mu.Lock()
+	if tx.aborted {
+		tx.mu.Unlock()
+		return
+	}
+	tx.aborted = true
+	children := tx.children
+	select {
+	case <-tx.cancel:
+	default:
+		close(tx.cancel)
+	}
+	tx.mu.Unlock()
+	for _, c := range children {
+		c.markAborted()
+	}
+}

@@ -1,0 +1,340 @@
+package nestedtx
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestTxIDsAndDepth(t *testing.T) {
+	m := NewManager()
+	m.MustRegister("r", NewRegister(int64(0)))
+	err := m.Run(func(tx *Tx) error {
+		if tx.ID() != "T0.0" || tx.Depth() != 1 {
+			t.Errorf("top-level ID=%s depth=%d", tx.ID(), tx.Depth())
+		}
+		return tx.Sub(func(sub *Tx) error {
+			if sub.ID() != "T0.0.0" || sub.Depth() != 2 {
+				t.Errorf("sub ID=%s depth=%d", sub.ID(), sub.Depth())
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second top-level gets the next index.
+	_ = m.Run(func(tx *Tx) error {
+		if tx.ID() != "T0.1" {
+			t.Errorf("second top-level ID=%s", tx.ID())
+		}
+		return nil
+	})
+}
+
+func TestUseAfterDone(t *testing.T) {
+	m := NewManager()
+	m.MustRegister("r", NewRegister(int64(0)))
+	var leaked *Tx
+	if err := m.Run(func(tx *Tx) error {
+		leaked = tx
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leaked.Do("r", RegRead{}); !errors.Is(err, ErrDone) {
+		t.Fatalf("Do after done: %v, want ErrDone", err)
+	}
+	if err := leaked.Sub(func(*Tx) error { return nil }); !errors.Is(err, ErrDone) {
+		t.Fatalf("Sub after done: %v, want ErrDone", err)
+	}
+	h := leaked.Go(func(*Tx) error { return nil })
+	if err := h.Wait(); !errors.Is(err, ErrDone) {
+		t.Fatalf("Go after done: %v, want ErrDone", err)
+	}
+}
+
+func TestUnknownObject(t *testing.T) {
+	m := NewManager()
+	err := m.Run(func(tx *Tx) error {
+		_, err := tx.Do("ghost", RegRead{})
+		return err
+	})
+	if err == nil {
+		t.Fatal("access to unregistered object must fail")
+	}
+}
+
+func TestNestedGoFanout(t *testing.T) {
+	m := NewManager(WithRecording())
+	m.MustRegister("ctr", Counter{})
+	err := m.Run(func(tx *Tx) error {
+		var top []*Handle
+		for i := 0; i < 3; i++ {
+			top = append(top, tx.Go(func(mid *Tx) error {
+				var inner []*Handle
+				for j := 0; j < 3; j++ {
+					inner = append(inner, mid.Go(func(leaf *Tx) error {
+						_, err := leaf.Do("ctr", CtrAdd{Delta: 1})
+						return err
+					}))
+				}
+				for _, h := range inner {
+					if err := h.Wait(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}))
+		}
+		for _, h := range top {
+			if err := h.Wait(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := m.State("ctr")
+	if s.(Counter).N != 9 {
+		t.Fatalf("counter = %v, want 9", s)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMidLevelAbortRollsBackSubtreeOnly(t *testing.T) {
+	m := NewManager(WithRecording())
+	m.MustRegister("ctr", Counter{})
+	err := m.Run(func(tx *Tx) error {
+		// Committed branch.
+		if err := tx.Sub(func(a *Tx) error {
+			_, err := a.Do("ctr", CtrAdd{Delta: 100})
+			return err
+		}); err != nil {
+			return err
+		}
+		// Aborted branch with committed grandchildren: the grandchild
+		// commits *to its parent*, whose abort undoes everything.
+		aborted := tx.Sub(func(b *Tx) error {
+			if err := b.Sub(func(c *Tx) error {
+				_, err := c.Do("ctr", CtrAdd{Delta: 10})
+				return err
+			}); err != nil {
+				return err
+			}
+			return errors.New("abort the middle")
+		})
+		if aborted == nil {
+			return errors.New("middle branch should have aborted")
+		}
+		v, err := tx.Do("ctr", CtrGet{})
+		if err != nil {
+			return err
+		}
+		if v != int64(100) {
+			return fmt.Errorf("parent sees %v, want 100 (grandchild's +10 rolled back)", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomRuntimeVerifies drives the real runtime with random nested
+// shapes and machine-checks every run against Theorem 34 — the bridge
+// between the goroutine implementation and the formal model.
+func TestRandomRuntimeVerifies(t *testing.T) {
+	iters := 12
+	if testing.Short() {
+		iters = 3
+	}
+	for it := 0; it < iters; it++ {
+		m := NewManager(WithRecording())
+		for i := 0; i < 3; i++ {
+			m.MustRegister(fmt.Sprintf("o%d", i), Counter{})
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for k := 0; k < 4; k++ {
+					_ = m.RunRetry(30, func(tx *Tx) error {
+						return randomBody(tx, rng.Int63(), 2)
+					})
+				}
+			}(int64(it*10 + w))
+		}
+		wg.Wait()
+		if err := m.Verify(); err != nil {
+			t.Fatalf("iter %d: runtime schedule failed verification: %v", it, err)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("iter %d: %v", it, err)
+		}
+	}
+}
+
+func randomBody(tx *Tx, seed int64, depth int) error {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		switch {
+		case depth > 0 && rng.Intn(2) == 0:
+			childSeed := rng.Int63()
+			err := tx.Sub(func(sub *Tx) error {
+				if err := randomBody(sub, childSeed, depth-1); err != nil {
+					return err
+				}
+				if rng.Intn(5) == 0 {
+					return errors.New("voluntary abort")
+				}
+				return nil
+			})
+			if err != nil && !errors.Is(err, ErrDeadlock) && !errors.Is(err, ErrAborted) {
+				continue // tolerate the voluntary abort
+			}
+			if err != nil {
+				return err
+			}
+		case rng.Intn(2) == 0:
+			if _, err := tx.Do(fmt.Sprintf("o%d", rng.Intn(3)), CtrGet{}); err != nil {
+				return err
+			}
+		default:
+			if _, err := tx.Do(fmt.Sprintf("o%d", rng.Intn(3)), CtrAdd{Delta: 1}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func TestExclusiveManagerStillCorrect(t *testing.T) {
+	m := NewManager(WithRecording(), WithExclusiveLocking())
+	m.MustRegister("ctr", Counter{})
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = m.RunRetry(20, func(tx *Tx) error {
+				if _, err := tx.Do("ctr", CtrGet{}); err != nil {
+					return err
+				}
+				_, err := tx.Do("ctr", CtrAdd{Delta: 1})
+				return err
+			})
+		}()
+	}
+	wg.Wait()
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// With exclusive locking, get-then-add never deadlocks on upgrade
+	// (the first access already took the exclusive lock), so all commit.
+	s, _ := m.State("ctr")
+	if s.(Counter).N != 6 {
+		t.Fatalf("counter = %v, want 6", s)
+	}
+}
+
+func TestVerifyRequiresRecording(t *testing.T) {
+	m := NewManager()
+	if err := m.Verify(); err == nil {
+		t.Fatal("Verify without recording must error")
+	}
+}
+
+func TestWriteScheduleOutput(t *testing.T) {
+	m := NewManager(WithRecording())
+	m.MustRegister("r", NewRegister(int64(0)))
+	_ = m.Run(func(tx *Tx) error {
+		_, err := tx.Do("r", RegWrite{V: int64(1)})
+		return err
+	})
+	var sb syncBuilder
+	if err := m.WriteSchedule(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.s == "" {
+		t.Fatal("schedule dump empty")
+	}
+}
+
+type syncBuilder struct{ s string }
+
+func (b *syncBuilder) Write(p []byte) (int, error) {
+	b.s += string(p)
+	return len(p), nil
+}
+
+func TestQueueProducerConsumer(t *testing.T) {
+	m := NewManager(WithRecording())
+	m.MustRegister("q", NewQueue())
+	m.MustRegister("sink", Counter{})
+	// Producers enqueue 1..N, consumers drain; all inside transactions.
+	var wg sync.WaitGroup
+	const items = 12
+	for i := 0; i < items; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := m.RunRetry(30, func(tx *Tx) error {
+				_, err := tx.Write("q", QEnqueue{V: int64(i)})
+				return err
+			}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	drained := 0
+	for {
+		var v Value
+		err := m.RunRetry(30, func(tx *Tx) error {
+			var err error
+			v, err = tx.Write("q", QDequeue{})
+			if err != nil {
+				return err
+			}
+			if v == nil {
+				return nil
+			}
+			_, err = tx.Write("sink", CtrAdd{Delta: 1})
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == nil {
+			break
+		}
+		drained++
+	}
+	if drained != items {
+		t.Fatalf("drained %d, want %d", drained, items)
+	}
+	s, _ := m.State("sink")
+	if s.(Counter).N != items {
+		t.Fatalf("sink = %v", s)
+	}
+	qs, _ := m.State("q")
+	if qs.(Queue).Len() != 0 {
+		t.Fatalf("queue not empty: %v", qs)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
