@@ -1,0 +1,33 @@
+# nestedtx build/test entry points. `make test` is the tier-1 flow:
+# vet runs before the tests, as in CI.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1: build + vet + full test suite.
+test: build vet
+	$(GO) test ./...
+
+# The concurrency-heavy suites under the race detector.
+race: vet
+	$(GO) test -race ./...
+
+# The experiment/benchmark suite (short run of every benchmark).
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+	$(GO) test -run XXX -bench ServerThroughput -benchtime 200x ./internal/server
+
+fuzz:
+	$(GO) test -fuzz FuzzTheorem34 -fuzztime 30s ./internal/checker
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,309 @@
+// Package client is the Go client for the nestedtx network transaction
+// server (internal/server, cmd/txserver). It mirrors the local API:
+// [Client.Run] corresponds to Manager.Run, [Tx.Read]/[Tx.Write]/[Tx.Sub]
+// to the local Tx methods, and deadlock victims surface as
+// [nestedtx.ErrDeadlock] so RunRetry-style loops work unchanged against
+// a remote transaction universe.
+//
+// A Client owns one connection — one server session — and serialises its
+// requests, so a Client is safe for concurrent use but transactions on
+// it execute one request at a time; open several Clients for concurrent
+// top-level transactions.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"nestedtx"
+	"nestedtx/internal/wire"
+)
+
+// Error is a server-reported failure that has no local errors sentinel
+// (bad requests, timeouts, busy/draining servers, internal faults).
+type Error struct {
+	Code string // a wire.Code* constant
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("client: %s (%s)", e.Msg, e.Code) }
+
+// ErrTimeout is wrapped by errors the server produced by hitting its
+// per-request deadline (the transaction was aborted server-side).
+var ErrTimeout = errors.New("client: request timed out server-side")
+
+// ErrBusy is wrapped by connection-limit rejections.
+var ErrBusy = errors.New("client: server at connection limit")
+
+// Option configures Dial.
+type Option func(*Client)
+
+// WithTimeout bounds every request round-trip (and the dial itself);
+// d <= 0 means no client-side deadline. The default is 30s.
+func WithTimeout(d time.Duration) Option { return func(c *Client) { c.timeout = d } }
+
+// Client is one session with a transaction server.
+type Client struct {
+	timeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+	seq  uint64
+}
+
+// Dial connects to a transaction server at addr.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	c := &Client{timeout: 30 * time.Second}
+	for _, opt := range opts {
+		opt(c)
+	}
+	dialTimeout := c.timeout
+	if dialTimeout <= 0 {
+		dialTimeout = time.Minute
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	c.conn = conn
+	c.bw = bufio.NewWriterSize(conn, 32<<10)
+	c.br = bufio.NewReaderSize(conn, 32<<10)
+	return c, nil
+}
+
+// Close tears down the session; the server aborts any transaction the
+// client left open.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// call performs one request/response round-trip.
+func (c *Client) call(req *wire.Request) (*wire.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	req.Seq = c.seq
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+	if err := wire.WriteFrame(c.bw, req); err != nil {
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	resp, err := wire.ReadResponse(c.br)
+	if err != nil {
+		return nil, fmt.Errorf("client: receive: %w", err)
+	}
+	if resp.Code == wire.CodeBusy {
+		return nil, fmt.Errorf("%w: %s", ErrBusy, resp.Err)
+	}
+	if resp.Seq != req.Seq {
+		return nil, fmt.Errorf("client: response seq %d for request %d", resp.Seq, req.Seq)
+	}
+	return resp, nil
+}
+
+// respErr maps a response to the local error vocabulary: deadlock
+// victims to nestedtx.ErrDeadlock, aborted transactions to
+// nestedtx.ErrAborted, server-side request deadlines to ErrTimeout, and
+// everything else to *Error.
+func respErr(resp *wire.Response) error {
+	if resp.OK {
+		return nil
+	}
+	switch resp.Code {
+	case wire.CodeDeadlock:
+		return fmt.Errorf("client: %s: %w", resp.Err, nestedtx.ErrDeadlock)
+	case wire.CodeAborted:
+		return fmt.Errorf("client: %s: %w", resp.Err, nestedtx.ErrAborted)
+	case wire.CodeTimeout:
+		return fmt.Errorf("%w: %s", ErrTimeout, resp.Err)
+	default:
+		return &Error{Code: resp.Code, Msg: resp.Err}
+	}
+}
+
+// Ping round-trips a no-op frame.
+func (c *Client) Ping() error {
+	resp, err := c.call(&wire.Request{Type: wire.TPing})
+	if err != nil {
+		return err
+	}
+	return respErr(resp)
+}
+
+// State fetches the committed-to-root state of an object. Like
+// Manager.State it is only stable when no transactions are in flight.
+func (c *Client) State(obj string) (nestedtx.State, error) {
+	resp, err := c.call(&wire.Request{Type: wire.TState, Obj: obj})
+	if err != nil {
+		return nil, err
+	}
+	if err := respErr(resp); err != nil {
+		return nil, err
+	}
+	return wire.DecodeState(resp.State)
+}
+
+// Stats fetches the server's counters.
+func (c *Client) Stats() (wire.Stats, error) {
+	resp, err := c.call(&wire.Request{Type: wire.TStats})
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	if err := respErr(resp); err != nil {
+		return wire.Stats{}, err
+	}
+	return *resp.Stats, nil
+}
+
+// Tx is an open remote transaction handle (top-level or sub).
+type Tx struct {
+	c    *Client
+	id   uint64
+	txid string
+}
+
+// ID returns the transaction's name in the paper's tree notation, as
+// assigned by the server (e.g. "T0.3.1").
+func (t *Tx) ID() string { return t.txid }
+
+// Begin opens a top-level transaction. Callers must resolve it with
+// [Tx.Commit] or [Tx.Abort]; prefer [Client.Run], which does.
+func (c *Client) Begin() (*Tx, error) {
+	resp, err := c.call(&wire.Request{Type: wire.TBegin})
+	if err != nil {
+		return nil, err
+	}
+	if err := respErr(resp); err != nil {
+		return nil, err
+	}
+	return &Tx{c: c, id: resp.Tx, txid: resp.TxID}, nil
+}
+
+// Do performs op on the named object as an access subtransaction of t,
+// blocking (server-side) until Moss' locking rule admits it.
+func (t *Tx) Do(obj string, op nestedtx.Op) (nestedtx.Value, error) {
+	typ := wire.TWrite
+	if op.ReadOnly() {
+		typ = wire.TRead
+	}
+	raw, err := wire.EncodeOp(op)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	resp, err := t.c.call(&wire.Request{Type: typ, Tx: t.id, Obj: obj, Op: raw})
+	if err != nil {
+		return nil, err
+	}
+	if err := respErr(resp); err != nil {
+		return nil, err
+	}
+	return wire.DecodeValue(resp.Value)
+}
+
+// Read performs a read-only op; it errors if op is not read-only.
+func (t *Tx) Read(obj string, op nestedtx.Op) (nestedtx.Value, error) {
+	if !op.ReadOnly() {
+		return nil, fmt.Errorf("client: Read with non-read-only op %v", op)
+	}
+	return t.Do(obj, op)
+}
+
+// Write performs a mutating op; it errors if op is read-only.
+func (t *Tx) Write(obj string, op nestedtx.Op) (nestedtx.Value, error) {
+	if op.ReadOnly() {
+		return nil, fmt.Errorf("client: Write with read-only op %v", op)
+	}
+	return t.Do(obj, op)
+}
+
+// Commit commits the transaction.
+func (t *Tx) Commit() error {
+	resp, err := t.c.call(&wire.Request{Type: wire.TCommit, Tx: t.id})
+	if err != nil {
+		return err
+	}
+	return respErr(resp)
+}
+
+// Abort aborts the transaction, rolling back its and its descendants'
+// effects.
+func (t *Tx) Abort() error {
+	resp, err := t.c.call(&wire.Request{Type: wire.TAbort, Tx: t.id})
+	if err != nil {
+		return err
+	}
+	return respErr(resp)
+}
+
+// Sub runs fn as a subtransaction of t, exactly like the local Tx.Sub: a
+// nil return commits the child (its locks and versions pass to t), an
+// error aborts only the child's effects.
+func (t *Tx) Sub(fn func(*Tx) error) error {
+	resp, err := t.c.call(&wire.Request{Type: wire.TSub, Tx: t.id})
+	if err != nil {
+		return err
+	}
+	if err := respErr(resp); err != nil {
+		return err
+	}
+	child := &Tx{c: t.c, id: resp.Tx, txid: resp.TxID}
+	if err := fn(child); err != nil {
+		if aerr := child.Abort(); aerr != nil && !errors.Is(err, nestedtx.ErrAborted) {
+			return errors.Join(err, aerr)
+		}
+		return err
+	}
+	return child.Commit()
+}
+
+// Run executes fn as a remote top-level transaction: Begin, then Commit
+// on nil or Abort on error — the remote mirror of Manager.Run.
+func (c *Client) Run(fn func(*Tx) error) error {
+	tx, err := c.Begin()
+	if err != nil {
+		return err
+	}
+	if err := fn(tx); err != nil {
+		if aerr := tx.Abort(); aerr != nil && !errors.Is(err, nestedtx.ErrAborted) {
+			return errors.Join(err, aerr)
+		}
+		return err
+	}
+	return tx.Commit()
+}
+
+// RunRetry is Run, retrying up to attempts times while the transaction
+// fails as a deadlock victim, with jittered exponential backoff — the
+// remote mirror of Manager.RunRetry.
+func (c *Client) RunRetry(attempts int, fn func(*Tx) error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		err = c.Run(fn)
+		if !errors.Is(err, nestedtx.ErrDeadlock) {
+			return err
+		}
+		sleepBackoff(i)
+	}
+	return err
+}
+
+// sleepBackoff sleeps a jittered, exponentially growing interval after
+// the attempt'th deadlock, so competing victims restart out of phase
+// (the same policy as the local runtime's retry helpers).
+func sleepBackoff(attempt int) {
+	if attempt > 6 {
+		attempt = 6
+	}
+	max := int64(50<<attempt) * int64(time.Microsecond)
+	time.Sleep(time.Duration(rand.Int63n(max)))
+}

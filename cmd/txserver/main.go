@@ -1,0 +1,144 @@
+// Command txserver serves a nestedtx transaction universe over TCP,
+// speaking the internal/wire protocol (see package client for the Go
+// client and the README's "Server" section for the frame format).
+//
+// Usage:
+//
+//	txserver [-addr :7654] [-objects spec] [-max-conns N]
+//	         [-idle-timeout D] [-req-timeout D] [-exclusive] [-record]
+//
+// The -objects flag declares the shared universe as comma-separated
+// name=kind pairs, where kind is one of counter, register, account, set,
+// queue, table (e.g. "checking=account,savings=account,audit=queue").
+//
+// With -record the manager records the formal event schedule of the
+// whole run; on drain (SIGINT/SIGTERM or -duration elapsing) the server
+// machine-checks it with Manager.Verify — well-formedness, replay on the
+// formal M(X) automata, and serial correctness per Theorem 34 — so the
+// paper's guarantee stays checkable against real network executions.
+// Recording grows memory with history size, so it is meant for bounded
+// validation runs rather than long-lived production service.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"nestedtx"
+	"nestedtx/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7654", "listen address")
+		objects     = flag.String("objects", "counter=counter", "objects to register: comma-separated name=kind (counter, register, account, set, queue, table)")
+		maxConns    = flag.Int("max-conns", 1024, "max concurrent sessions (0 = unlimited)")
+		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "abort sessions idle this long (0 = never)")
+		reqTimeout  = flag.Duration("req-timeout", 10*time.Second, "per-request deadline; a blocked access past it aborts its transaction")
+		exclusive   = flag.Bool("exclusive", false, "exclusive-locking mode: treat every access as a write (the paper's [LM] baseline)")
+		record      = flag.Bool("record", false, "record the formal schedule and Verify it on drain (Theorem 34 check)")
+		duration    = flag.Duration("duration", 0, "serve this long, then drain (0 = until SIGINT/SIGTERM)")
+	)
+	flag.Parse()
+
+	var opts []nestedtx.Option
+	if *record {
+		opts = append(opts, nestedtx.WithRecording())
+	}
+	if *exclusive {
+		opts = append(opts, nestedtx.WithExclusiveLocking())
+	}
+	mgr := nestedtx.NewManager(opts...)
+	if err := registerObjects(mgr, *objects); err != nil {
+		log.Fatalf("txserver: %v", err)
+	}
+
+	srv := server.New(mgr, server.Config{
+		MaxConns:       *maxConns,
+		IdleTimeout:    *idleTimeout,
+		RequestTimeout: *reqTimeout,
+	})
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(*addr) }()
+	log.Printf("txserver: serving on %s (record=%v exclusive=%v max-conns=%d)",
+		*addr, *record, *exclusive, *maxConns)
+
+	if *duration > 0 {
+		select {
+		case <-stop:
+		case <-time.After(*duration):
+		case err := <-done:
+			log.Fatalf("txserver: serve: %v", err)
+		}
+	} else {
+		select {
+		case <-stop:
+		case err := <-done:
+			log.Fatalf("txserver: serve: %v", err)
+		}
+	}
+
+	log.Printf("txserver: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("txserver: drain: %v", err)
+	}
+	c := srv.Counters()
+	lk := mgr.Stats()
+	log.Printf("txserver: drained: sessions=%d requests=%d commits=%d aborts=%d deadlock-victims=%d reaped=%d rejected=%d lock-waits=%d",
+		c.TotalSessions, c.Requests, c.Commits, c.Aborts, c.DeadlockVictims,
+		c.ReapedSessions, c.RejectedConns, lk.Waits)
+
+	if *record {
+		log.Printf("txserver: verifying recorded schedule (%d events)...", len(mgr.Schedule()))
+		if err := mgr.Verify(); err != nil {
+			log.Fatalf("txserver: VERIFY FAILED: %v", err)
+		}
+		log.Printf("txserver: schedule verified: well-formed, replays on M(X), serially correct (Theorem 34)")
+	}
+}
+
+// registerObjects parses "name=kind,..." and registers each object.
+func registerObjects(m *nestedtx.Manager, spec string) error {
+	if strings.TrimSpace(spec) == "" {
+		return nil
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		name, kind, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return fmt.Errorf("bad object spec %q (want name=kind)", pair)
+		}
+		var st nestedtx.State
+		switch kind {
+		case "counter":
+			st = nestedtx.Counter{}
+		case "register":
+			st = nestedtx.NewRegister(nil)
+		case "account":
+			st = nestedtx.Account{}
+		case "set":
+			st = nestedtx.NewIntSet()
+		case "queue":
+			st = nestedtx.NewQueue()
+		case "table":
+			st = nestedtx.NewTable(nil)
+		default:
+			return fmt.Errorf("unknown object kind %q for %q", kind, name)
+		}
+		if err := m.Register(name, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}

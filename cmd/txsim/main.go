@@ -1,9 +1,12 @@
-// Command txsim runs the quantitative experiments (E3–E7) of
-// EXPERIMENTS.md against the nestedtx runtime and prints their tables.
+// Command txsim runs the quantitative experiments (E3–E7, E9) of
+// EXPERIMENTS.md against the nestedtx runtime and prints their tables —
+// or, with -json, one machine-readable JSON object per experiment row
+// (newline-delimited), for tracking the performance trajectory across
+// revisions.
 //
 // Usage:
 //
-//	txsim [-exp e3|e4|e5|e7|all] [-seed S] [-quick]
+//	txsim [-exp e3|e4|e5|e7|e9|all] [-seed S] [-json]
 package main
 
 import (
@@ -17,39 +20,50 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: e3, e4, e5, e7, e9 or all")
 	seed := flag.Int64("seed", 1, "workload seed")
+	asJSON := flag.Bool("json", false, "emit one JSON object per experiment row instead of tables")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 
+	// emit renders one experiment's points as a table or as JSON rows.
+	emit := func(name, title string, points []sim.SweepPoint) {
+		if *asJSON {
+			check(sim.WriteJSON(os.Stdout, name, points))
+			return
+		}
+		check(sim.WriteTable(os.Stdout, title, points))
+		fmt.Println()
+	}
+
 	if run("e3") {
 		points, err := sim.ReadFractionSweep(*seed, []float64{0, 0.25, 0.5, 0.75, 0.9, 1.0})
 		check(err)
-		check(sim.WriteTable(os.Stdout, "E3: read-fraction sweep (R/W vs exclusive vs serial)", points))
-		fmt.Println()
+		emit("e3", "E3: read-fraction sweep (R/W vs exclusive vs serial)", points)
 	}
 	if run("e4") {
 		points, err := sim.DepthSweep(*seed, 4)
 		check(err)
-		check(sim.WriteTable(os.Stdout, "E4: nesting-depth sweep (concurrent siblings vs serial)", points))
-		fmt.Println()
+		emit("e4", "E4: nesting-depth sweep (concurrent siblings vs serial)", points)
 	}
 	if run("e5") {
 		points, err := sim.AbortSweep(*seed, []float64{0, 0.1, 0.25, 0.5})
 		check(err)
-		check(sim.WriteTable(os.Stdout, "E5: abort-rate sweep (recovery under load)", points))
-		fmt.Println()
+		emit("e5", "E5: abort-rate sweep (recovery under load)", points)
 	}
 	if run("e7") {
 		points, err := sim.InheritanceSweep(*seed, []int{0, 1, 2, 4, 6})
 		check(err)
-		check(sim.WriteTable(os.Stdout, "E7: lock-inheritance chain depth (same work, deeper commits)", points))
-		fmt.Println()
+		emit("e7", "E7: lock-inheritance chain depth (same work, deeper commits)", points)
 	}
 	if run("e9") {
 		points, err := sim.EngineSweep(*seed, []float64{0, 0.25, 0.5, 0.75, 0.9, 1.0})
 		check(err)
-		check(sim.WriteEngineTable(os.Stdout, "E9: Moss R/W locking vs Reed-style MVTO (flat transactions)", points))
-		fmt.Println()
+		if *asJSON {
+			check(sim.WriteEngineJSON(os.Stdout, "e9", points))
+		} else {
+			check(sim.WriteEngineTable(os.Stdout, "E9: Moss R/W locking vs Reed-style MVTO (flat transactions)", points))
+			fmt.Println()
+		}
 	}
 }
 

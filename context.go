@@ -3,6 +3,7 @@ package nestedtx
 import (
 	"context"
 	"errors"
+	"time"
 
 	"nestedtx/internal/event"
 	"nestedtx/internal/tree"
@@ -51,6 +52,33 @@ func (m *Manager) RunCtx(ctx context.Context, fn func(*Tx) error) error {
 	m.rec.Record(event.Event{Kind: event.RequestCommit, T: id, Value: v})
 	m.lm.Commit(id, v)
 	return nil
+}
+
+// RunRetryCtx is [Manager.RunRetry] with context cancellation: each
+// attempt runs under [Manager.RunCtx], and — unlike RunRetry — the
+// jittered backoff between attempts is interruptible, so a cancelled
+// caller never sleeps through a retry window. It returns ctx's error
+// (joined with the last attempt's error, if any) when ctx is cancelled,
+// and otherwise behaves like RunRetry.
+func (m *Manager) RunRetryCtx(ctx context.Context, attempts int, fn func(*Tx) error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		err = m.RunCtx(ctx, fn)
+		if !errors.Is(err, ErrDeadlock) {
+			return err
+		}
+		if i+1 == attempts {
+			break
+		}
+		t := time.NewTimer(backoffDur(i))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return joinErrs(ctx.Err(), err)
+		case <-t.C:
+		}
+	}
+	return err
 }
 
 // joinErrs merges a context error with the body's error, dropping the

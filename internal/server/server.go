@@ -1,0 +1,682 @@
+// Package server exposes a nestedtx.Manager over TCP — the Argus
+// deployment scenario: many remote clients sharing one transaction
+// universe. It speaks the internal/wire protocol; package client is the
+// matching Go client.
+//
+// Each connection is a session. A session owns the transaction handles
+// it opens: BEGIN starts a server-side top-level transaction whose body
+// is a command loop driven by the session's subsequent requests, SUB
+// nests a child loop inside it (mirroring Tx.Sub's stack discipline),
+// and READ/WRITE/COMMIT/ABORT are executed by the loop owning the
+// handle. Concurrent sessions therefore map onto concurrent top-level
+// transactions of the shared Manager, and every locking, inheritance
+// and deadlock-detection rule of the runtime applies across the network
+// exactly as in-process. With the Manager in recording mode, a server
+// run's schedule remains machine-checkable by Manager.Verify after
+// [Server.Shutdown] has drained the sessions.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nestedtx"
+	"nestedtx/internal/adt"
+	"nestedtx/internal/wire"
+)
+
+func newBufReader(c net.Conn) *bufio.Reader { return bufio.NewReaderSize(c, 32<<10) }
+func newBufWriter(c net.Conn) *bufio.Writer { return bufio.NewWriterSize(c, 32<<10) }
+
+// Config parameterises a Server.
+type Config struct {
+	// MaxConns caps concurrent sessions; excess connections are refused
+	// with a busy frame (connection-limit backpressure). <= 0 means
+	// unlimited.
+	MaxConns int
+	// IdleTimeout is how long a session may sit with no request before
+	// the reaper aborts its transactions and closes it, reclaiming locks
+	// from abandoned clients. <= 0 disables reaping.
+	IdleTimeout time.Duration
+	// RequestTimeout is the per-request deadline: a request (typically an
+	// access blocked on a lock) that cannot complete within it aborts its
+	// transaction and fails with a timeout frame. <= 0 means the default
+	// of 10s.
+	RequestTimeout time.Duration
+}
+
+const defaultRequestTimeout = 10 * time.Second
+
+// Counters are the server's own atomic counters, exposed (with the lock
+// manager's) via STATS.
+type Counters struct {
+	ActiveSessions  int64
+	TotalSessions   uint64
+	ReapedSessions  uint64
+	RejectedConns   uint64
+	Requests        uint64
+	Commits         uint64
+	Aborts          uint64
+	DeadlockVictims uint64
+}
+
+// Server serves one Manager's transaction universe over a listener.
+type Server struct {
+	mgr *nestedtx.Manager
+	cfg Config
+
+	active   atomic.Int64
+	total    atomic.Uint64
+	reaped   atomic.Uint64
+	rejected atomic.Uint64
+	requests atomic.Uint64
+	commits  atomic.Uint64
+	aborts   atomic.Uint64
+	victims  atomic.Uint64
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[*session]struct{}
+	closed   bool
+	reapStop chan struct{}
+	wg       sync.WaitGroup // live session goroutines
+}
+
+// New returns a Server for mgr. The objects clients may touch must be
+// Registered on mgr before Serve.
+func New(mgr *nestedtx.Manager, cfg Config) *Server {
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = defaultRequestTimeout
+	}
+	return &Server{
+		mgr:      mgr,
+		cfg:      cfg,
+		sessions: make(map[*session]struct{}),
+		reapStop: make(chan struct{}),
+	}
+}
+
+// Manager returns the served manager (for post-drain Verify / State).
+func (s *Server) Manager() *nestedtx.Manager { return s.mgr }
+
+// Counters returns a snapshot of the server counters.
+func (s *Server) Counters() Counters {
+	return Counters{
+		ActiveSessions:  s.active.Load(),
+		TotalSessions:   s.total.Load(),
+		ReapedSessions:  s.reaped.Load(),
+		RejectedConns:   s.rejected.Load(),
+		Requests:        s.requests.Load(),
+		Commits:         s.commits.Load(),
+		Aborts:          s.aborts.Load(),
+		DeadlockVictims: s.victims.Load(),
+	}
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts sessions on ln until Shutdown closes it. It returns nil
+// after a graceful Shutdown and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	if s.cfg.IdleTimeout > 0 {
+		go s.reapLoop()
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return err
+		}
+		if s.cfg.MaxConns > 0 && s.active.Load() >= int64(s.cfg.MaxConns) {
+			s.rejected.Add(1)
+			go refuse(conn)
+			continue
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// refuse tells a connection the server is full, then closes it.
+func refuse(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	bw := newBufWriter(conn)
+	wire.WriteFrame(bw, &wire.Response{OK: false, Code: wire.CodeBusy,
+		Err: "server: connection limit reached"})
+}
+
+// Shutdown drains the server: the listener closes, every session's
+// in-flight transactions are aborted cleanly (so a recorded schedule
+// stays well-formed and verifiable), and all session goroutines are
+// awaited. It returns ctx.Err() if the drain outlives ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	close(s.reapStop)
+	open := make([]*session, 0, len(s.sessions))
+	for ss := range s.sessions {
+		open = append(open, ss)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, ss := range open {
+		ss.close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// reapLoop periodically aborts and closes sessions that have been idle —
+// no request in flight and none received — for IdleTimeout, so
+// abandoned clients cannot pin locks forever.
+func (s *Server) reapLoop() {
+	period := s.cfg.IdleTimeout / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.reapStop:
+			return
+		case <-tick.C:
+		}
+		cutoff := time.Now().Add(-s.cfg.IdleTimeout).UnixNano()
+		s.mu.Lock()
+		var stale []*session
+		for ss := range s.sessions {
+			if !ss.inFlight.Load() && ss.lastActive.Load() < cutoff {
+				stale = append(stale, ss)
+			}
+		}
+		s.mu.Unlock()
+		for _, ss := range stale {
+			s.reaped.Add(1)
+			ss.close()
+		}
+	}
+}
+
+// session is one connection's state. All fields below the atomics are
+// touched only by the session's own goroutine.
+type session struct {
+	srv    *Server
+	conn   net.Conn
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup // top-level transaction runner goroutines
+
+	lastActive atomic.Int64 // unix nanos of last request activity
+	inFlight   atomic.Bool  // a request is being handled right now
+
+	txs    map[uint64]*txHandle
+	nextTx uint64
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	ss := &session{srv: s, conn: conn, ctx: ctx, cancel: cancel, txs: make(map[uint64]*txHandle)}
+	ss.lastActive.Store(time.Now().UnixNano())
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		conn.Close()
+		return
+	}
+	s.sessions[ss] = struct{}{}
+	s.mu.Unlock()
+	s.active.Add(1)
+	s.total.Add(1)
+	defer func() {
+		// Abort whatever the client left open, wait for the transaction
+		// goroutines to finish (so Shutdown → Verify sees quiescence),
+		// then deregister.
+		cancel()
+		conn.Close()
+		ss.wg.Wait()
+		s.mu.Lock()
+		delete(s.sessions, ss)
+		s.mu.Unlock()
+		s.active.Add(-1)
+	}()
+
+	br := newBufReader(conn)
+	bw := newBufWriter(conn)
+	for {
+		req, err := wire.ReadRequest(br)
+		if err != nil {
+			return // EOF, reset, or reaped/drained under us
+		}
+		ss.inFlight.Store(true)
+		ss.lastActive.Store(time.Now().UnixNano())
+		s.requests.Add(1)
+		resp := ss.handle(req)
+		resp.Seq = req.Seq
+		werr := wire.WriteFrame(bw, resp)
+		ss.lastActive.Store(time.Now().UnixNano())
+		ss.inFlight.Store(false)
+		if werr != nil {
+			return
+		}
+	}
+}
+
+// close aborts the session's transactions and tears down its connection;
+// the session goroutine finishes the cleanup.
+func (ss *session) close() {
+	ss.cancel()
+	ss.conn.Close()
+}
+
+// ---- transaction handles ----
+
+// errAbortRequested is the sentinel a command loop returns when the
+// client asked for ABORT: it makes the runtime roll the transaction
+// back, and the handler maps it back to a successful ABORT response.
+var errAbortRequested = errors.New("server: abort requested by client")
+
+type cmdKind int
+
+const (
+	cmdOp cmdKind = iota
+	cmdSub
+	cmdFinish
+)
+
+type opResult struct {
+	v   nestedtx.Value
+	err error
+}
+
+type txCmd struct {
+	kind  cmdKind
+	obj   string
+	op    adt.Op
+	child *txHandle     // cmdSub
+	abort bool          // cmdFinish
+	reply chan opResult // cmdOp; buffered so the loop never blocks on it
+}
+
+// txHandle is one open transaction (top-level or sub) owned by a session.
+type txHandle struct {
+	id     uint64
+	parent *txHandle // nil for top-level handles
+
+	// treeCtx covers the whole top-level tree; cancelling it (per-request
+	// timeout, session teardown) aborts every transaction in the tree.
+	treeCtx    context.Context
+	treeCancel context.CancelFunc
+
+	cmds    chan txCmd
+	started chan string   // tx.ID(), sent once the body is entered
+	res     chan error    // the Run/Sub outcome, sent exactly once
+	done    chan struct{} // closed after res is sent
+
+	busyChild *txHandle // non-nil while a SUB is open under this handle
+}
+
+func (ss *session) newHandle(parent *txHandle) *txHandle {
+	ss.nextTx++
+	h := &txHandle{
+		id:      ss.nextTx,
+		parent:  parent,
+		cmds:    make(chan txCmd),
+		started: make(chan string, 1),
+		res:     make(chan error, 1),
+		done:    make(chan struct{}),
+	}
+	if parent == nil {
+		h.treeCtx, h.treeCancel = context.WithCancel(ss.ctx)
+	} else {
+		h.treeCtx, h.treeCancel = parent.treeCtx, parent.treeCancel
+	}
+	return h
+}
+
+// root returns the top-level handle of h's tree.
+func (h *txHandle) root() *txHandle {
+	for h.parent != nil {
+		h = h.parent
+	}
+	return h
+}
+
+// body is the command loop run as the transaction's body: it executes
+// the session's requests against the live *nestedtx.Tx until the client
+// finishes the handle or the tree's context is cancelled.
+func (ss *session) body(h *txHandle) func(*nestedtx.Tx) error {
+	return func(tx *nestedtx.Tx) error {
+		h.started <- tx.ID()
+		for {
+			select {
+			case cmd := <-h.cmds:
+				switch cmd.kind {
+				case cmdOp:
+					v, err := tx.Do(cmd.obj, cmd.op)
+					cmd.reply <- opResult{v, err}
+				case cmdSub:
+					// Runs the child's loop on this stack, exactly like a
+					// local Tx.Sub body; we resume when the child finishes.
+					err := tx.Sub(ss.body(cmd.child))
+					cmd.child.res <- err
+					close(cmd.child.done)
+				case cmdFinish:
+					if cmd.abort {
+						return errAbortRequested
+					}
+					return nil
+				}
+			case <-h.treeCtx.Done():
+				return h.treeCtx.Err()
+			}
+		}
+	}
+}
+
+// ---- request handling ----
+
+func (ss *session) handle(req *wire.Request) *wire.Response {
+	switch req.Type {
+	case wire.TPing:
+		return &wire.Response{OK: true}
+	case wire.TStats:
+		return ss.handleStats()
+	case wire.TState:
+		return ss.handleState(req)
+	case wire.TBegin:
+		return ss.handleBegin()
+	case wire.TSub:
+		return ss.handleSub(req)
+	case wire.TRead, wire.TWrite:
+		return ss.handleOp(req)
+	case wire.TCommit:
+		return ss.handleFinish(req, false)
+	case wire.TAbort:
+		return ss.handleFinish(req, true)
+	default:
+		return fail(wire.CodeBadRequest, fmt.Sprintf("unknown request type %q", req.Type))
+	}
+}
+
+func fail(code, msg string) *wire.Response {
+	return &wire.Response{OK: false, Code: code, Err: msg}
+}
+
+func (ss *session) handleStats() *wire.Response {
+	c := ss.srv.Counters()
+	lk := ss.srv.mgr.Stats()
+	return &wire.Response{OK: true, Stats: &wire.Stats{
+		ActiveSessions:  c.ActiveSessions,
+		TotalSessions:   c.TotalSessions,
+		ReapedSessions:  c.ReapedSessions,
+		RejectedConns:   c.RejectedConns,
+		Requests:        c.Requests,
+		Commits:         c.Commits,
+		Aborts:          c.Aborts,
+		DeadlockVictims: c.DeadlockVictims,
+		Acquires:        lk.Acquires,
+		Waits:           lk.Waits,
+		Deadlocks:       lk.Deadlocks,
+		CommitMoves:     lk.CommitMoves,
+		AbortReleases:   lk.AbortReleases,
+	}}
+}
+
+func (ss *session) handleState(req *wire.Request) *wire.Response {
+	st, err := ss.srv.mgr.State(req.Obj)
+	if err != nil {
+		return fail(wire.CodeBadRequest, err.Error())
+	}
+	raw, err := wire.EncodeState(st)
+	if err != nil {
+		return fail(wire.CodeInternal, err.Error())
+	}
+	return &wire.Response{OK: true, State: raw}
+}
+
+func (ss *session) handleBegin() *wire.Response {
+	if ss.srv.isClosed() {
+		return fail(wire.CodeShutdown, "server: draining")
+	}
+	h := ss.newHandle(nil)
+	ss.wg.Add(1)
+	go func() {
+		defer ss.wg.Done()
+		// attempts=1: the body is request-driven and cannot be replayed
+		// server-side, so deadlock retry belongs to the remote client;
+		// RunRetryCtx still gives per-request deadlines and session
+		// teardown a cancellation point (including between any future
+		// backoff attempts).
+		err := ss.srv.mgr.RunRetryCtx(h.treeCtx, 1, ss.body(h))
+		if err == nil {
+			ss.srv.commits.Add(1)
+		} else {
+			ss.srv.aborts.Add(1)
+		}
+		h.res <- err
+		close(h.done)
+	}()
+	select {
+	case txid := <-h.started:
+		ss.txs[h.id] = h
+		return &wire.Response{OK: true, Tx: h.id, TxID: txid}
+	case <-h.done:
+		return mapTxErr(<-h.res)
+	}
+}
+
+func (ss *session) handleSub(req *wire.Request) *wire.Response {
+	parent, resp := ss.lookup(req.Tx)
+	if resp != nil {
+		return resp
+	}
+	child := ss.newHandle(parent)
+	cmd := txCmd{kind: cmdSub, child: child}
+	if resp := ss.deliver(parent, cmd); resp != nil {
+		return resp
+	}
+	select {
+	case txid := <-child.started:
+		parent.busyChild = child
+		ss.txs[child.id] = child
+		return &wire.Response{OK: true, Tx: child.id, TxID: txid}
+	case <-child.done:
+		// Sub refused to start (parent aborted under us).
+		return mapTxErr(<-child.res)
+	}
+}
+
+func (ss *session) handleOp(req *wire.Request) *wire.Response {
+	h, resp := ss.lookup(req.Tx)
+	if resp != nil {
+		return resp
+	}
+	op, err := wire.DecodeOp(req.Op)
+	if err != nil {
+		return fail(wire.CodeBadRequest, err.Error())
+	}
+	if req.Type == wire.TRead && !op.ReadOnly() {
+		return fail(wire.CodeBadRequest, fmt.Sprintf("READ with non-read-only op %v", op))
+	}
+	if req.Type == wire.TWrite && op.ReadOnly() {
+		return fail(wire.CodeBadRequest, fmt.Sprintf("WRITE with read-only op %v", op))
+	}
+	cmd := txCmd{kind: cmdOp, obj: req.Obj, op: op, reply: make(chan opResult, 1)}
+	if resp := ss.deliver(h, cmd); resp != nil {
+		return resp
+	}
+	timer := time.NewTimer(ss.srv.cfg.RequestTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-cmd.reply:
+		if r.err != nil {
+			return ss.mapOpErr(req.Obj, r.err)
+		}
+		raw, err := wire.EncodeValue(r.v)
+		if err != nil {
+			return fail(wire.CodeInternal, err.Error())
+		}
+		return &wire.Response{OK: true, Value: raw}
+	case <-timer.C:
+		// The access is stuck (blocked on a lock past the request
+		// deadline): abort the whole transaction tree, which unblocks it.
+		h.treeCancel()
+		<-cmd.reply
+		return fail(wire.CodeTimeout,
+			fmt.Sprintf("request exceeded %v; transaction aborted", ss.srv.cfg.RequestTimeout))
+	}
+}
+
+func (ss *session) handleFinish(req *wire.Request, abort bool) *wire.Response {
+	h, resp := ss.lookup(req.Tx)
+	if resp != nil {
+		return resp
+	}
+	cmd := txCmd{kind: cmdFinish, abort: abort}
+	select {
+	case h.cmds <- cmd:
+	case <-h.root().done: // tree already dead; res below is still delivered
+	}
+	var err error
+	select {
+	case err = <-h.res:
+	case <-ss.ctx.Done():
+		return fail(wire.CodeShutdown, "server: draining")
+	}
+	// The handle is finished either way: forget it.
+	delete(ss.txs, h.id)
+	if h.parent != nil {
+		h.parent.busyChild = nil
+	}
+	if abort {
+		if err == nil || errors.Is(err, errAbortRequested) ||
+			errors.Is(err, nestedtx.ErrAborted) || errors.Is(err, context.Canceled) {
+			return &wire.Response{OK: true}
+		}
+		return mapTxErr(err)
+	}
+	return mapTxErr(err)
+}
+
+// lookup resolves a handle id, rejecting unknown handles and handles
+// whose command loop is parked under an open subtransaction.
+func (ss *session) lookup(id uint64) (*txHandle, *wire.Response) {
+	h, ok := ss.txs[id]
+	if !ok {
+		return nil, fail(wire.CodeUnknownTx, fmt.Sprintf("no open transaction handle %d", id))
+	}
+	if h.busyChild != nil {
+		return nil, fail(wire.CodeBadRequest,
+			fmt.Sprintf("transaction %d has open subtransaction %d", id, h.busyChild.id))
+	}
+	return h, nil
+}
+
+// deliver hands cmd to h's command loop, failing fast if the loop is
+// gone or cannot take it within the request deadline.
+func (ss *session) deliver(h *txHandle, cmd txCmd) *wire.Response {
+	timer := time.NewTimer(ss.srv.cfg.RequestTimeout)
+	defer timer.Stop()
+	select {
+	case h.cmds <- cmd:
+		return nil
+	case <-h.root().done:
+		delete(ss.txs, h.id)
+		return fail(wire.CodeAborted, "transaction already finished")
+	case <-timer.C:
+		return fail(wire.CodeTimeout, "transaction busy")
+	}
+}
+
+// mapOpErr converts an access error into its wire form, counting
+// deadlock victims.
+func (ss *session) mapOpErr(obj string, err error) *wire.Response {
+	switch {
+	case errors.Is(err, nestedtx.ErrDeadlock):
+		ss.srv.victims.Add(1)
+		return fail(wire.CodeDeadlock, err.Error())
+	case errors.Is(err, nestedtx.ErrAborted):
+		return fail(wire.CodeAborted, err.Error())
+	default:
+		// Off the happy path only: distinguish the client naming an
+		// unregistered object from a genuine server-side failure.
+		if _, serr := ss.srv.mgr.State(obj); serr != nil {
+			return fail(wire.CodeBadRequest, serr.Error())
+		}
+		return fail(wire.CodeInternal, err.Error())
+	}
+}
+
+// mapTxErr converts a transaction outcome error into its wire form.
+func mapTxErr(err error) *wire.Response {
+	switch {
+	case err == nil:
+		return &wire.Response{OK: true}
+	case errors.Is(err, nestedtx.ErrDeadlock):
+		return fail(wire.CodeDeadlock, err.Error())
+	case errors.Is(err, nestedtx.ErrAborted), errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded), errors.Is(err, errAbortRequested):
+		return fail(wire.CodeAborted, err.Error())
+	default:
+		return fail(wire.CodeInternal, err.Error())
+	}
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// The JSON emitters mirror WriteTable/WriteEngineTable for machines: one
+// JSON object per experiment row, newline-delimited, so benchmark
+// trajectories can be tracked across PRs (BENCH_*.json) without parsing
+// aligned tables.
+
+// resultJSON is the machine-readable projection of one engine's Result.
+type resultJSON struct {
+	TxPerSec  float64 `json:"tx_s"`
+	OpsPerSec float64 `json:"ops_s"`
+	P50Micros int64   `json:"p50_us"`
+	P95Micros int64   `json:"p95_us"`
+	Committed int     `json:"committed"`
+	Aborted   int     `json:"aborted"`
+	Retried   int     `json:"retried"`
+	Waits     uint64  `json:"waits"`
+	Deadlocks uint64  `json:"deadlocks"`
+}
+
+func toResultJSON(r Result) resultJSON {
+	return resultJSON{
+		TxPerSec:  r.Throughput(),
+		OpsPerSec: r.OpsPerSec(),
+		P50Micros: r.Percentile(50).Microseconds(),
+		P95Micros: r.Percentile(95).Microseconds(),
+		Committed: r.Committed,
+		Aborted:   r.Aborted,
+		Retried:   r.Retried,
+		Waits:     r.Stats.Waits,
+		Deadlocks: r.Stats.Deadlocks,
+	}
+}
+
+// rowJSON is one sweep row: the R/W engine always, baselines when run.
+type rowJSON struct {
+	Exp    string      `json:"exp"`
+	Label  string      `json:"label"`
+	Seed   int64       `json:"seed"`
+	RW     resultJSON  `json:"rw"`
+	Excl   *resultJSON `json:"excl,omitempty"`
+	Serial *resultJSON `json:"serial,omitempty"`
+}
+
+// WriteJSON emits one JSON object per sweep point, newline-delimited.
+func WriteJSON(w io.Writer, exp string, points []SweepPoint) error {
+	enc := json.NewEncoder(w)
+	for _, p := range points {
+		row := rowJSON{Exp: exp, Label: p.Label, Seed: p.RW.Workload.Seed, RW: toResultJSON(p.RW)}
+		if p.HasBase {
+			if p.Excl.Duration > 0 {
+				excl := toResultJSON(p.Excl)
+				row.Excl = &excl
+			}
+			if p.Serial.Duration > 0 {
+				serial := toResultJSON(p.Serial)
+				row.Serial = &serial
+			}
+		}
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// engineRowJSON is one E9 engine-comparison row.
+type engineRowJSON struct {
+	Exp     string     `json:"exp"`
+	Label   string     `json:"label"`
+	Seed    int64      `json:"seed"`
+	Locking resultJSON `json:"locking"`
+	MVTO    struct {
+		TxPerSec  float64 `json:"tx_s"`
+		Committed int     `json:"committed"`
+		Aborted   int     `json:"aborted"`
+		Waits     uint64  `json:"waits"`
+		TooLates  uint64  `json:"too_late"`
+	} `json:"mvto"`
+}
+
+// WriteEngineJSON emits one JSON object per E9 point, newline-delimited.
+func WriteEngineJSON(w io.Writer, exp string, points []EnginePoint) error {
+	enc := json.NewEncoder(w)
+	for _, p := range points {
+		row := engineRowJSON{Exp: exp, Label: p.Label, Seed: p.Locking.Workload.Seed,
+			Locking: toResultJSON(p.Locking)}
+		row.MVTO.TxPerSec = p.MVTO.Throughput()
+		row.MVTO.Committed = p.MVTO.Committed
+		row.MVTO.Aborted = p.MVTO.Aborted
+		row.MVTO.Waits = p.MVTO.Stats.Waits
+		row.MVTO.TooLates = p.MVTO.Stats.TooLates
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+// Package wire defines the network protocol spoken between the nestedtx
+// transaction server (internal/server) and its clients (package client).
+//
+// The protocol is a length-prefixed newline-JSON framing: every frame is
+//
+//	<decimal byte length of payload> '\n' <payload JSON> '\n'
+//
+// and every payload is a single JSON object — a [Request] on the
+// client→server direction, a [Response] on the way back. The explicit
+// length prefix bounds reads (see [MaxFrameSize]) and lets either end
+// skip a frame it cannot parse; the trailing newline keeps captures
+// greppable and makes the stream self-synchronising for humans.
+//
+// Requests and responses are matched by sequence number. The server
+// answers every request with exactly one response; requests on one
+// connection are processed in order. Operations, values and object
+// states cross the wire in the tagged encoding of internal/adt's codec,
+// so only the library's abstract data types are remotely accessible —
+// the same restriction the schedule-persistence tools have.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"nestedtx/internal/adt"
+)
+
+// MaxFrameSize bounds a single frame's payload; frames advertising more
+// are rejected without reading them.
+const MaxFrameSize = 1 << 20
+
+// Request types. Each carries the fields noted; unused fields are
+// omitted from the JSON.
+const (
+	TBegin  = "BEGIN"  // open a top-level transaction → Tx handle
+	TSub    = "SUB"    // Tx: open a subtransaction of handle Tx → new handle
+	TRead   = "READ"   // Tx, Obj, Op: read-only access
+	TWrite  = "WRITE"  // Tx, Obj, Op: mutating access
+	TCommit = "COMMIT" // Tx: commit the handle
+	TAbort  = "ABORT"  // Tx: abort the handle
+	TState  = "STATE"  // Obj: committed-to-root state snapshot
+	TStats  = "STATS"  // server + lock-manager counters
+	TPing   = "PING"   // liveness / round-trip probe
+)
+
+// Response error codes (Response.Code when OK is false).
+const (
+	CodeDeadlock   = "deadlock"    // the transaction was a deadlock victim; abort and retry
+	CodeAborted    = "aborted"     // the transaction is (already) aborted
+	CodeTimeout    = "timeout"     // the per-request deadline expired; the transaction was aborted
+	CodeBusy       = "busy"        // connection limit reached; try another server or later
+	CodeShutdown   = "shutdown"    // the server is draining
+	CodeUnknownTx  = "unknown_tx"  // no such transaction handle on this session
+	CodeBadRequest = "bad_request" // malformed or ill-sequenced request
+	CodeInternal   = "internal"    // server-side failure
+)
+
+// Request is one client→server frame.
+type Request struct {
+	Seq  uint64          `json:"seq"`
+	Type string          `json:"type"`
+	Tx   uint64          `json:"tx,omitempty"`  // transaction handle (SUB/READ/WRITE/COMMIT/ABORT)
+	Obj  string          `json:"obj,omitempty"` // object name (READ/WRITE/STATE)
+	Op   json.RawMessage `json:"op,omitempty"`  // adt-encoded operation (READ/WRITE)
+}
+
+// Response is one server→client frame.
+type Response struct {
+	Seq   uint64          `json:"seq"`
+	OK    bool            `json:"ok"`
+	Code  string          `json:"code,omitempty"`
+	Err   string          `json:"err,omitempty"`
+	Tx    uint64          `json:"tx,omitempty"`    // new handle (BEGIN/SUB)
+	TxID  string          `json:"txid,omitempty"`  // paper-tree name, e.g. "T0.3.1" (BEGIN/SUB)
+	Value json.RawMessage `json:"value,omitempty"` // adt-encoded access result (READ/WRITE)
+	State json.RawMessage `json:"state,omitempty"` // adt-encoded object state (STATE)
+	Stats *Stats          `json:"stats,omitempty"` // STATS
+}
+
+// Stats is the STATS payload: the server's own counters plus the
+// underlying lock manager's.
+type Stats struct {
+	ActiveSessions  int64  `json:"active_sessions"`
+	TotalSessions   uint64 `json:"total_sessions"`
+	ReapedSessions  uint64 `json:"reaped_sessions"`
+	RejectedConns   uint64 `json:"rejected_conns"`
+	Requests        uint64 `json:"requests"`
+	Commits         uint64 `json:"commits"`
+	Aborts          uint64 `json:"aborts"`
+	DeadlockVictims uint64 `json:"deadlock_victims"`
+
+	Acquires      uint64 `json:"lock_acquires"`
+	Waits         uint64 `json:"lock_waits"`
+	Deadlocks     uint64 `json:"lock_deadlocks"`
+	CommitMoves   uint64 `json:"lock_commit_moves"`
+	AbortReleases uint64 `json:"lock_abort_releases"`
+}
+
+// EncodeOp wraps the adt codec for request building.
+func EncodeOp(op adt.Op) (json.RawMessage, error) { return adt.EncodeOp(op) }
+
+// DecodeOp reverses EncodeOp.
+func DecodeOp(raw json.RawMessage) (adt.Op, error) { return adt.DecodeOp(raw) }
+
+// EncodeValue wraps the adt codec for response building.
+func EncodeValue(v adt.Value) (json.RawMessage, error) { return adt.EncodeValue(v) }
+
+// DecodeValue reverses EncodeValue.
+func DecodeValue(raw json.RawMessage) (adt.Value, error) { return adt.DecodeValue(raw) }
+
+// EncodeState wraps the adt codec for STATE responses.
+func EncodeState(s adt.State) (json.RawMessage, error) { return adt.EncodeState(s) }
+
+// DecodeState reverses EncodeState.
+func DecodeState(raw json.RawMessage) (adt.State, error) { return adt.DecodeState(raw) }
+
+// WriteFrame writes v as one length-prefixed frame and flushes.
+func WriteFrame(w *bufio.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal frame: %w", err)
+	}
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(payload), MaxFrameSize)
+	}
+	if _, err := fmt.Fprintf(w, "%d\n", len(payload)); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	if err := w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// ReadFrame reads one frame's payload into v. It returns io.EOF (exactly)
+// on a clean end of stream before any byte of a frame.
+func ReadFrame(r *bufio.Reader, v any) error {
+	header, err := r.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && header == "" {
+			return io.EOF
+		}
+		return fmt.Errorf("wire: read frame header: %w", err)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(header))
+	if err != nil || n < 0 {
+		return fmt.Errorf("wire: bad frame length %q", strings.TrimSpace(header))
+	}
+	if n > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrameSize)
+	}
+	buf := make([]byte, n+1) // payload + trailing newline
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("wire: read frame payload: %w", err)
+	}
+	if buf[n] != '\n' {
+		return fmt.Errorf("wire: frame missing trailing newline")
+	}
+	if err := json.Unmarshal(buf[:n], v); err != nil {
+		return fmt.Errorf("wire: unmarshal frame: %w", err)
+	}
+	return nil
+}
+
+// ReadRequest reads one Request frame.
+func ReadRequest(r *bufio.Reader) (*Request, error) {
+	var req Request
+	if err := ReadFrame(r, &req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// ReadResponse reads one Response frame.
+func ReadResponse(r *bufio.Reader) (*Response, error) {
+	var resp Response
+	if err := ReadFrame(r, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"nestedtx/internal/adt"
+)
+
+func roundTripReq(t *testing.T, req *Request) *Request {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(bufio.NewWriter(&buf), req); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	got, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("ReadRequest: %v", err)
+	}
+	return got
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	op, err := EncodeOp(adt.CtrAdd{Delta: -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &Request{Seq: 7, Type: TWrite, Tx: 2, Obj: "ctr", Op: op}
+	got := roundTripReq(t, req)
+	if got.Seq != 7 || got.Type != TWrite || got.Tx != 2 || got.Obj != "ctr" {
+		t.Fatalf("round trip mangled request: %+v", got)
+	}
+	dop, err := DecodeOp(got.Op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dop.(adt.CtrAdd).Delta != -3 {
+		t.Fatalf("op mangled: %+v", dop)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	val, err := EncodeValue(adt.AcctResult{OK: true, Balance: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := EncodeState(adt.Account{Balance: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := &Response{Seq: 9, OK: true, Tx: 3, TxID: "T0.1.2", Value: val, State: st,
+		Stats: &Stats{Requests: 12, Deadlocks: 1}}
+	var buf bytes.Buffer
+	if err := WriteFrame(bufio.NewWriter(&buf), resp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.OK || got.Seq != 9 || got.TxID != "T0.1.2" || got.Stats.Requests != 12 {
+		t.Fatalf("round trip mangled response: %+v", got)
+	}
+	v, err := DecodeValue(got.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(adt.AcctResult).Balance != 41 {
+		t.Fatalf("value mangled: %+v", v)
+	}
+	s, err := DecodeState(got.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.(adt.Account).Balance != 41 {
+		t.Fatalf("state mangled: %+v", s)
+	}
+}
+
+func TestFrameStreaming(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	for i := uint64(1); i <= 5; i++ {
+		if err := WriteFrame(w, &Request{Seq: i, Type: TPing}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	for i := uint64(1); i <= 5; i++ {
+		req, err := ReadRequest(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if req.Seq != i {
+			t.Fatalf("frame %d: got seq %d", i, req.Seq)
+		}
+	}
+	if _, err := ReadRequest(r); !errors.Is(err, io.EOF) {
+		t.Fatalf("want clean EOF after last frame, got %v", err)
+	}
+}
+
+func TestFrameRejectsOversizeAndGarbage(t *testing.T) {
+	var req Request
+	if err := ReadFrame(bufio.NewReader(strings.NewReader("99999999\n")), &req); err == nil ||
+		!strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversize frame not rejected: %v", err)
+	}
+	if err := ReadFrame(bufio.NewReader(strings.NewReader("nope\n")), &req); err == nil {
+		t.Fatal("garbage length accepted")
+	}
+	if err := ReadFrame(bufio.NewReader(strings.NewReader("2\n{}X")), &req); err == nil ||
+		!strings.Contains(err.Error(), "newline") {
+		t.Fatalf("missing trailing newline accepted: %v", err)
+	}
+	if err := ReadFrame(bufio.NewReader(strings.NewReader("4\n{}\n")), &req); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}

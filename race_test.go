@@ -1,0 +1,264 @@
+package nestedtx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRegisterRacesTransactionsAndStats is a -race stress test: Register
+// of new objects races with in-flight transactions on already-registered
+// objects and with concurrent Stats() readers. It asserts no data race
+// (the detector's job), that every transaction on a registered object
+// succeeds, and that the post-quiescence state is exactly the sum of the
+// committed work.
+func TestRegisterRacesTransactionsAndStats(t *testing.T) {
+	const (
+		preRegistered = 4
+		lateObjects   = 12
+		workers       = 8
+		txPerWorker   = 40
+	)
+	m := NewManager() // no recording: this test is about runtime data races
+	for i := 0; i < preRegistered; i++ {
+		m.MustRegister(fmt.Sprintf("pre%d", i), Counter{})
+	}
+
+	// registered publishes the names transactions may currently touch.
+	var mu sync.Mutex
+	registered := []string{}
+	for i := 0; i < preRegistered; i++ {
+		registered = append(registered, fmt.Sprintf("pre%d", i))
+	}
+	pick := func(n int) string {
+		mu.Lock()
+		defer mu.Unlock()
+		return registered[n%len(registered)]
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Registrar: keeps declaring new objects while transactions run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < lateObjects; i++ {
+			name := fmt.Sprintf("late%d", i)
+			m.MustRegister(name, Counter{})
+			mu.Lock()
+			registered = append(registered, name)
+			mu.Unlock()
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	// Stats readers: hammer the counters throughout. They run until the
+	// workers and registrar quiesce, so they get their own WaitGroup.
+	var statsWG sync.WaitGroup
+	var statsReads atomic.Int64
+	for i := 0; i < 2; i++ {
+		statsWG.Add(1)
+		go func() {
+			defer statsWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = m.Stats()
+					_ = m.CheckInvariants()
+					statsReads.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Workers: transactions over whatever is registered at pick time.
+	var committedAdds atomic.Int64
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < txPerWorker; j++ {
+				obj := pick(w*txPerWorker + j)
+				err := m.RunRetry(30, func(tx *Tx) error {
+					if _, err := tx.Write(obj, CtrAdd{Delta: 1}); err != nil {
+						return err
+					}
+					_, err := tx.Read(obj, CtrGet{})
+					return err
+				})
+				if err != nil {
+					errc <- fmt.Errorf("worker %d tx %d on %s: %w", w, j, obj, err)
+					return
+				}
+				committedAdds.Add(1)
+			}
+		}(w)
+	}
+
+	waitWorkers := make(chan struct{})
+	go func() { wg.Wait(); close(waitWorkers) }()
+	select {
+	case <-waitWorkers:
+	case <-time.After(60 * time.Second):
+		t.Fatal("stress run did not quiesce")
+	}
+	close(stop)
+	statsWG.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if statsReads.Load() == 0 {
+		t.Fatal("stats readers never ran")
+	}
+
+	// Post-quiescence: the counters must sum to exactly the committed work.
+	var total int64
+	mu.Lock()
+	names := append([]string(nil), registered...)
+	mu.Unlock()
+	for _, name := range names {
+		st, err := m.State(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.(Counter).N
+	}
+	if total != committedAdds.Load() {
+		t.Fatalf("sum over objects = %d, want %d committed adds", total, committedAdds.Load())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("post-quiescence invariants: %v", err)
+	}
+}
+
+// TestRunRetryCtxCancelDuringBackoff pins the RunRetryCtx contract: a
+// context cancelled between deadlock-backoff attempts stops the retry
+// loop promptly, with both the context error and the deadlock visible.
+func TestRunRetryCtxCancelDuringBackoff(t *testing.T) {
+	m := NewManager()
+	m.MustRegister("a", Counter{})
+	m.MustRegister("b", Counter{})
+
+	// Manufacture a deterministic deadlock: two transactions lock a and b
+	// in opposite orders. The victim's RunRetryCtx would normally back
+	// off and retry forever (attempts is huge); cancelling the context
+	// must stop it.
+	ctx, cancel := context.WithCancel(context.Background())
+	firstA := make(chan struct{})
+	firstB := make(chan struct{})
+	var once sync.Once
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	body := func(first, second string, mine, other chan struct{}) func(*Tx) error {
+		started := false
+		return func(tx *Tx) error {
+			if _, err := tx.Write(first, CtrAdd{Delta: 1}); err != nil {
+				return err
+			}
+			if !started {
+				started = true
+				close(mine)
+				<-other
+			}
+			_, err := tx.Write(second, CtrAdd{Delta: 1})
+			if err != nil {
+				// One of the two is the victim; as soon as either sees the
+				// deadlock, cancel the context so neither retries forever.
+				once.Do(cancel)
+			}
+			return err
+		}
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		errs[0] = m.RunRetryCtx(ctx, 1_000_000, body("a", "b", firstA, firstB))
+	}()
+	go func() {
+		defer wg.Done()
+		errs[1] = m.RunRetryCtx(ctx, 1_000_000, body("b", "a", firstB, firstA))
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunRetryCtx did not return after cancellation")
+	}
+	// At least one side must report the cancellation; no side may report
+	// success, since the context died before anyone could commit... except
+	// the survivor may have committed before cancel landed. Accept: each
+	// error is nil, ctx.Err, or a deadlock already in flight.
+	sawCancel := false
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) {
+			sawCancel = true
+		} else if !errors.Is(err, ErrDeadlock) && !errors.Is(err, ErrAborted) {
+			t.Fatalf("side %d: unexpected error %v", i, err)
+		}
+	}
+	if errs[0] == nil && errs[1] == nil {
+		t.Fatal("both sides committed despite forced deadlock + cancel")
+	}
+	_ = sawCancel // the race decides whether cancel or the deadlock surfaces first
+}
+
+// TestRunRetryCtxRetriesDeadlockVictims checks the happy path: deadlock
+// victims under an un-cancelled context are retried and eventually
+// commit, like RunRetry.
+func TestRunRetryCtxRetriesDeadlockVictims(t *testing.T) {
+	m := NewManager(WithRecording())
+	m.MustRegister("a", Counter{})
+	m.MustRegister("b", Counter{})
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			first, second := "a", "b"
+			if i%2 == 1 {
+				first, second = second, first
+			}
+			errc <- m.RunRetryCtx(context.Background(), 50, func(tx *Tx) error {
+				if _, err := tx.Write(first, CtrAdd{Delta: 1}); err != nil {
+					return err
+				}
+				_, err := tx.Write(second, CtrAdd{Delta: 1})
+				return err
+			})
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, obj := range []string{"a", "b"} {
+		st, err := m.State(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := st.(Counter).N; got != 8 {
+			t.Fatalf("%s = %d, want 8", obj, got)
+		}
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -160,11 +160,17 @@ func (tx *Tx) SubRetry(attempts int, fn func(*Tx) error) error {
 // backoff sleeps a jittered, exponentially growing interval after the
 // attempt'th deadlock, so competing victims restart out of phase.
 func backoff(attempt int) {
+	time.Sleep(backoffDur(attempt))
+}
+
+// backoffDur returns the jittered backoff interval after the attempt'th
+// deadlock.
+func backoffDur(attempt int) time.Duration {
 	if attempt > 6 {
 		attempt = 6
 	}
 	max := int64(50<<attempt) * int64(time.Microsecond)
-	time.Sleep(time.Duration(rand.Int63n(max)))
+	return time.Duration(rand.Int63n(max))
 }
 
 // Handle is a concurrent subtransaction started by [Tx.Go].
