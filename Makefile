@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz clean
+.PHONY: all build vet test race bench bench-short fuzz clean
 
 all: build test
 
@@ -25,6 +25,11 @@ race: vet
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
 	$(GO) test -run XXX -bench ServerThroughput -benchtime 200x ./internal/server
+
+# Smoke-run every benchmark once (CI: catches bit-rot in bench code
+# without paying for statistically meaningful timings).
+bench-short:
+	$(GO) test -run XXX -bench . -benchtime 1x ./...
 
 fuzz:
 	$(GO) test -fuzz FuzzTheorem34 -fuzztime 30s ./internal/checker

@@ -59,8 +59,11 @@ func (m *Manager) RunCtx(ctx context.Context, fn func(*Tx) error) error {
 // jittered backoff between attempts is interruptible, so a cancelled
 // caller never sleeps through a retry window. It returns ctx's error
 // (joined with the last attempt's error, if any) when ctx is cancelled,
-// and otherwise behaves like RunRetry.
+// and otherwise behaves like RunRetry. attempts values below 1 are
+// clamped to 1: fn always executes at least once (unless ctx is already
+// cancelled on entry).
 func (m *Manager) RunRetryCtx(ctx context.Context, attempts int, fn func(*Tx) error) error {
+	attempts = clampAttempts(attempts)
 	var err error
 	for i := 0; i < attempts; i++ {
 		err = m.RunCtx(ctx, fn)

@@ -9,6 +9,12 @@
 // requesting access, or until the caller is cancelled or chosen as a
 // deadlock victim.
 //
+// Per-transaction cost tracks the transaction's footprint, not the size
+// of the registered universe: a held-locks index (TID → locked objects)
+// lets Commit and Abort visit only the objects the transaction actually
+// locked, and waiters queue on the object they are blocked on, so a
+// commit or abort wakes only the waiters whose lock tables it changed.
+//
 // All lock-table transitions happen under one manager mutex and are
 // recorded in the formal event vocabulary, so the schedule of a live run
 // can be machine-checked against Theorem 34 by internal/checker.
@@ -42,34 +48,54 @@ type Stats struct {
 	Deadlocks     uint64 // deadlock cycles broken
 	CommitMoves   uint64 // lock inheritances on commit
 	AbortReleases uint64 // lock discards on abort
+
+	Wakeups         uint64 // waiter wakeups issued by commits/aborts
+	SpuriousWakeups uint64 // wakeups after which the waiter was still blocked
+	MaxQueueDepth   uint64 // high-water mark of any per-object wait queue
 }
 
 // Manager owns the lock tables and version maps of every registered object
-// and the global wait-for graph.
+// and the wait queues of every blocked acquisition.
 type Manager struct {
 	mode core.Mode
 	rec  *event.Recorder
 
 	mu      sync.Mutex
 	objects map[string]*lockState
-	waiters map[*waiter]struct{}
-	stats   Stats
+	// held is the held-locks index: for every transaction holding at
+	// least one lock, the set of objects it holds a (read or write) lock
+	// on. Commit and Abort walk this index instead of the whole universe.
+	held map[tree.TID]map[*lockState]struct{}
+	// contended is the set of objects with a non-empty wait queue, so
+	// invariant checks walk only the queues that exist.
+	contended map[*lockState]struct{}
+	// waiting indexes the queued waiters by their transaction, for
+	// demand-driven wait-for-graph exploration and victim selection.
+	waiting map[tree.TID][]*waiter
+	// topWaiting groups the waiting transactions by their top-level
+	// ancestor. Structural wait-for edges (ancestor → waiting descendant)
+	// never cross a top-level boundary, so successor enumeration scans
+	// only the waiting transactions of one tree.
+	topWaiting map[tree.TID]map[tree.TID]struct{}
+	stats      Stats
 }
 
-// lockState is the M(X) state for one object: the two lock tables and the
-// version map (defined exactly on the write-lockholders).
+// lockState is the M(X) state for one object: the two lock tables, the
+// version map (defined exactly on the write-lockholders), and the queue
+// of acquisitions blocked on this object.
 type lockState struct {
 	name     string
 	read     tree.Set
 	write    tree.Set
 	versions map[tree.TID]adt.State
+	queue    []*waiter
 }
 
 type waiter struct {
 	tx     tree.TID // the live transaction performing the access
 	access tree.TID
-	object string
-	write  bool // whether the access needs a write lock
+	ls     *lockState // the object the waiter is queued on
+	write  bool       // whether the access needs a write lock
 	wake   chan struct{}
 	victim bool
 }
@@ -78,10 +104,13 @@ type waiter struct {
 // given lock classification mode.
 func New(rec *event.Recorder, mode core.Mode) *Manager {
 	return &Manager{
-		mode:    mode,
-		rec:     rec,
-		objects: make(map[string]*lockState),
-		waiters: make(map[*waiter]struct{}),
+		mode:      mode,
+		rec:       rec,
+		objects:   make(map[string]*lockState),
+		held:      make(map[tree.TID]map[*lockState]struct{}),
+		contended:  make(map[*lockState]struct{}),
+		waiting:    make(map[tree.TID][]*waiter),
+		topWaiting: make(map[tree.TID]map[tree.TID]struct{}),
 	}
 }
 
@@ -93,12 +122,14 @@ func (m *Manager) Register(x string, init adt.State) error {
 	if _, dup := m.objects[x]; dup {
 		return fmt.Errorf("lockmgr: object %q already registered", x)
 	}
-	m.objects[x] = &lockState{
+	ls := &lockState{
 		name:     x,
 		read:     tree.NewSet(),
 		write:    tree.NewSet(tree.Root),
 		versions: map[tree.TID]adt.State{tree.Root: init},
 	}
+	m.objects[x] = ls
+	m.indexAddLocked(tree.Root, ls)
 	return nil
 }
 
@@ -163,6 +194,94 @@ func (ls *lockState) blocked(t tree.TID, write bool) (tree.TID, bool) {
 	return "", false
 }
 
+// ---- held-locks index ----
+
+// indexAddLocked records that t holds a lock on ls. Caller holds m.mu.
+func (m *Manager) indexAddLocked(t tree.TID, ls *lockState) {
+	s := m.held[t]
+	if s == nil {
+		s = make(map[*lockState]struct{})
+		m.held[t] = s
+	}
+	s[ls] = struct{}{}
+}
+
+// ---- wait queues ----
+
+// enqueueLocked appends w to its object's wait queue and the per-tx
+// waiting index. Caller holds m.mu.
+func (m *Manager) enqueueLocked(w *waiter) {
+	ls := w.ls
+	ls.queue = append(ls.queue, w)
+	m.contended[ls] = struct{}{}
+	if len(m.waiting[w.tx]) == 0 {
+		top := tree.Root.ChildToward(w.tx)
+		s := m.topWaiting[top]
+		if s == nil {
+			s = make(map[tree.TID]struct{})
+			m.topWaiting[top] = s
+		}
+		s[w.tx] = struct{}{}
+	}
+	m.waiting[w.tx] = append(m.waiting[w.tx], w)
+	if d := uint64(len(ls.queue)); d > m.stats.MaxQueueDepth {
+		m.stats.MaxQueueDepth = d
+	}
+}
+
+// dequeueLocked removes w from its object's wait queue if still present,
+// and from the waiting index. Caller holds m.mu.
+func (m *Manager) dequeueLocked(w *waiter) {
+	ls := w.ls
+	for i, q := range ls.queue {
+		if q == w {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			break
+		}
+	}
+	if len(ls.queue) == 0 {
+		delete(m.contended, ls)
+	}
+	m.unindexWaiterLocked(w)
+}
+
+// unindexWaiterLocked drops w from the per-tx waiting index. Caller holds
+// m.mu.
+func (m *Manager) unindexWaiterLocked(w *waiter) {
+	ws := m.waiting[w.tx]
+	for i, q := range ws {
+		if q == w {
+			ws = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(ws) == 0 {
+		delete(m.waiting, w.tx)
+		top := tree.Root.ChildToward(w.tx)
+		if s := m.topWaiting[top]; s != nil {
+			delete(s, w.tx)
+			if len(s) == 0 {
+				delete(m.topWaiting, top)
+			}
+		}
+	} else {
+		m.waiting[w.tx] = ws
+	}
+}
+
+// wakeQueuedLocked wakes every waiter queued on ls — the targeted wakeup
+// issued when ls's lock tables changed. Woken waiters rescan and requeue
+// if still blocked. Caller holds m.mu.
+func (m *Manager) wakeQueuedLocked(ls *lockState) {
+	for _, w := range ls.queue {
+		close(w.wake)
+		m.stats.Wakeups++
+		m.unindexWaiterLocked(w)
+	}
+	ls.queue = nil
+	delete(m.contended, ls)
+}
+
 // Acquire runs access `access` (a child of live transaction tx) applying
 // op to object x, blocking until the Moss locking rule admits it. On
 // success it returns the operation's value; the lock ends up held by tx
@@ -171,7 +290,9 @@ func (ls *lockState) blocked(t tree.TID, write bool) (tree.TID, bool) {
 //
 // cancel, when closed, unblocks the wait with ErrCancelled (used when the
 // enclosing transaction is aborted externally). ErrDeadlock is returned
-// when the wait was chosen as a deadlock victim.
+// when the wait was chosen as a deadlock victim, even when the victim
+// choice races an external cancel — the deadlock outcome wins, so retry
+// loops keyed on ErrDeadlock observe it.
 func (m *Manager) Acquire(tx, access tree.TID, x string, op adt.Op, cancel <-chan struct{}) (adt.Value, error) {
 	write := m.isWrite(op)
 	waited := false
@@ -190,18 +311,34 @@ func (m *Manager) Acquire(tx, access tree.TID, x string, op adt.Op, cancel <-cha
 			}
 			// A grant can complete a wait-for cycle (a newly compatible
 			// read lock blocks an older write waiter) without any new
-			// waiter registering, so detection must run here too.
-			m.breakCyclesLocked()
+			// waiter registering, so detection must run here too. Every
+			// edge the grant adds sources from a waiter already queued on
+			// this object, so those transactions are the only roots a new
+			// cycle can be found from.
+			if len(ls.queue) > 0 {
+				starts := make([]tree.TID, 0, len(ls.queue))
+				for _, qw := range ls.queue {
+					starts = append(starts, qw.tx)
+				}
+				m.breakCyclesLocked(starts)
+			}
 			m.mu.Unlock()
 			return v, nil
 		}
+		if waited {
+			// Woken by a commit/abort on this object but still blocked.
+			m.stats.SpuriousWakeups++
+		}
 		// Conflicting lock held by a non-ancestor: wait for the holder's
 		// chain to commit (lock inheritance) or abort (lock release).
-		w := &waiter{tx: tx, access: access, object: x, write: write, wake: make(chan struct{})}
-		m.waiters[w] = struct{}{}
-		m.breakCyclesLocked()
+		w := &waiter{tx: tx, access: access, ls: ls, write: write, wake: make(chan struct{})}
+		m.enqueueLocked(w)
+		// Every edge this wait adds either sources from tx (lock edges) or
+		// targets tx (structural edges from its ancestors), so any cycle
+		// completed by the registration is reachable from tx.
+		m.breakCyclesLocked([]tree.TID{tx})
 		if w.victim {
-			delete(m.waiters, w)
+			// breakCyclesLocked already dequeued w.
 			m.mu.Unlock()
 			return nil, ErrDeadlock
 		}
@@ -211,14 +348,20 @@ func (m *Manager) Acquire(tx, access tree.TID, x string, op adt.Op, cancel <-cha
 		case <-w.wake:
 			m.mu.Lock()
 			if w.victim {
-				delete(m.waiters, w)
 				m.mu.Unlock()
 				return nil, ErrDeadlock
 			}
-			delete(m.waiters, w)
+			// The waker dequeued w; loop and rescan.
 		case <-cancel:
 			m.mu.Lock()
-			delete(m.waiters, w)
+			if w.victim {
+				// Deadlock victim chosen concurrently with the cancel: the
+				// victim outcome is already counted in stats.Deadlocks and
+				// must be reported so the caller's retry logic sees it.
+				m.mu.Unlock()
+				return nil, ErrDeadlock
+			}
+			m.dequeueLocked(w)
 			m.mu.Unlock()
 			return nil, ErrCancelled
 		}
@@ -235,6 +378,7 @@ func (m *Manager) grantLocked(ls *lockState, tx, access tree.TID, op adt.Op, wri
 	} else {
 		ls.read.Add(tx)
 	}
+	m.indexAddLocked(tx, ls)
 	m.rec.RecordAll(
 		event.Event{Kind: event.RequestCommit, T: access, Value: v},
 		event.Event{Kind: event.Commit, T: access},
@@ -246,13 +390,16 @@ func (m *Manager) grantLocked(ls *lockState, tx, access tree.TID, op adt.Op, wri
 
 // Commit moves every lock held by t up to parent(t) (with its version, for
 // write locks), recording COMMIT(t) and the INFORM_COMMIT events, then
-// wakes waiters. It must be called exactly once per committing
-// transaction, after all of t's children have returned.
+// wakes the waiters queued on the objects whose lock tables changed. It
+// visits only the objects in t's held-locks index — cost is proportional
+// to the transaction's footprint, not the registered universe. It must be
+// called exactly once per committing transaction, after all of t's
+// children have returned.
 func (m *Manager) Commit(t tree.TID, value event.Value) {
 	p := t.Parent()
 	m.mu.Lock()
 	m.rec.Record(event.Event{Kind: event.Commit, T: t})
-	for _, ls := range m.objects {
+	for ls := range m.held[t] {
 		touched := false
 		if ls.write.Has(t) {
 			ls.write.Remove(t)
@@ -267,21 +414,35 @@ func (m *Manager) Commit(t tree.TID, value event.Value) {
 			touched = true
 		}
 		if touched {
+			m.indexAddLocked(p, ls)
 			m.stats.CommitMoves++
 			m.rec.Record(event.Event{Kind: event.InformCommitAt, T: t, Object: ls.name})
+			m.wakeQueuedLocked(ls)
 		}
 	}
+	delete(m.held, t)
 	m.rec.Record(event.Event{Kind: event.ReportCommit, T: t, Value: value})
-	m.wakeAllLocked()
 	m.mu.Unlock()
 }
 
 // Abort discards every lock and version held by t or its descendants,
-// recording ABORT(t) and the INFORM_ABORT events, then wakes waiters.
+// recording ABORT(t) and the INFORM_ABORT events, then wakes the waiters
+// queued on the objects whose lock tables changed. The affected objects
+// are found through the held-locks index of t's descendants, so cost is
+// proportional to the aborted subtree's footprint.
 func (m *Manager) Abort(t tree.TID) {
 	m.mu.Lock()
 	m.rec.Record(event.Event{Kind: event.Abort, T: t})
-	for _, ls := range m.objects {
+	affected := make(map[*lockState]struct{})
+	for u, objs := range m.held {
+		if u.IsDescendantOf(t) {
+			for ls := range objs {
+				affected[ls] = struct{}{}
+			}
+			delete(m.held, u)
+		}
+	}
+	for ls := range affected {
 		touched := false
 		for u := range ls.write {
 			if u.IsDescendantOf(t) {
@@ -299,32 +460,15 @@ func (m *Manager) Abort(t tree.TID) {
 		if touched {
 			m.stats.AbortReleases++
 			m.rec.Record(event.Event{Kind: event.InformAbortAt, T: t, Object: ls.name})
+			m.wakeQueuedLocked(ls)
 		}
 	}
 	m.rec.Record(event.Event{Kind: event.ReportAbort, T: t})
-	m.wakeAllLocked()
 	m.mu.Unlock()
 }
 
-func (m *Manager) wakeAllLocked() {
-	for w := range m.waiters {
-		select {
-		case <-w.wake:
-		default:
-			close(w.wake)
-		}
-	}
-	// Woken waiters remove themselves on resume; clear the registry so
-	// detection never chases stale entries.
-	m.waiters = make(map[*waiter]struct{})
-}
-
-// detectLocked looks for a wait-for cycle through the newly registered
-// waiter w and returns the chosen victim's waiter, or nil. Caller holds
-// m.mu.
-//
-// The graph needs two kinds of edges. A waiter blocked by holder H is
-// really waiting for every transaction from H up to (but excluding)
+// The wait-for graph needs two kinds of edges. A waiter blocked by holder
+// H is really waiting for every transaction from H up to (but excluding)
 // lca(H, access) to commit — only then has the lock been inherited high
 // enough to become an ancestor's — so a lock edge goes from the waiting
 // transaction to each member of that chain. And a transaction cannot
@@ -332,38 +476,42 @@ func (m *Manager) wakeAllLocked() {
 // every proper ancestor of a waiting transaction down to it. Cycles in
 // this combined graph are exactly the executions that cannot progress
 // without an abort.
-// breakCyclesLocked finds wait-for cycles among the registered waiters and
-// aborts one victim per cycle found. Caller holds m.mu.
-func (m *Manager) breakCyclesLocked() {
+//
+// The graph is never materialised: successors are enumerated on demand
+// from the per-object queues (via the waiting index), and the search
+// starts only from the transactions whose outgoing edges the triggering
+// event changed — a new cycle must pass through one of them. Detection
+// cost therefore scales with the reachable component of the change, not
+// with the total number of waiters in the system.
+
+// breakCyclesLocked finds wait-for cycles reachable from the given start
+// transactions and aborts one victim per cycle found. Caller holds m.mu.
+func (m *Manager) breakCyclesLocked(starts []tree.TID) {
 	for {
-		victim := m.detectLocked()
+		victim := m.detectLocked(starts)
 		if victim == nil {
 			return
 		}
 		victim.victim = true
-		select {
-		case <-victim.wake:
-		default:
-			close(victim.wake)
-		}
-		delete(m.waiters, victim)
+		close(victim.wake)
+		m.dequeueLocked(victim)
 		m.stats.Deadlocks++
 	}
 }
 
-func (m *Manager) detectLocked() *waiter {
-	edges := make(map[tree.TID]map[tree.TID]struct{})
-	byTx := make(map[tree.TID][]*waiter)
-	for wt := range m.waiters {
-		byTx[wt.tx] = append(byTx[wt.tx], wt)
-		ls, ok := m.objects[wt.object]
-		if !ok {
-			continue
-		}
+// succLocked appends t's wait-for successors to buf and returns it.
+// Caller holds m.mu.
+func (m *Manager) succLocked(t tree.TID, buf []tree.TID) []tree.TID {
+	// Lock edges: for each of t's waits, the holder chains that must
+	// commit before the wait can be granted.
+	for _, wt := range m.waiting[t] {
+		ls := wt.ls
 		addChain := func(holder tree.TID) {
 			lca := tree.LCA(holder, wt.access)
 			for u := holder; u != lca && u != tree.Root; u = u.Parent() {
-				addEdge(edges, wt.tx, u)
+				if u != t {
+					buf = append(buf, u)
+				}
 			}
 		}
 		for u := range ls.write {
@@ -378,54 +526,25 @@ func (m *Manager) detectLocked() *waiter {
 				}
 			}
 		}
-		// Structural edges: ancestors are gated on this waiter returning.
-		for _, anc := range wt.tx.ProperAncestors() {
-			if anc != tree.Root {
-				addEdge(edges, anc, wt.tx)
-			}
+	}
+	// Structural edges: t is gated on every waiting proper descendant.
+	// Descendants share t's top-level ancestor, so only that tree's
+	// waiting transactions are scanned.
+	for u := range m.topWaiting[tree.Root.ChildToward(t)] {
+		if t.IsProperAncestorOf(u) {
+			buf = append(buf, u)
 		}
 	}
-	// Find a cycle reachable from any waiting transaction.
-	var cycle []tree.TID
-	for wt := range m.waiters {
-		if cycle = findCycle(edges, wt.tx); cycle != nil {
-			break
-		}
-	}
-	if cycle == nil {
-		return nil
-	}
-	// Victim: the deepest transaction in the cycle that is actually
-	// waiting, breaking level ties by the lexicographically larger name.
-	var victim *waiter
-	for _, t := range cycle {
-		for _, cand := range byTx[t] {
-			if victim == nil || cand.tx.Level() > victim.tx.Level() ||
-				(cand.tx.Level() == victim.tx.Level() && cand.tx > victim.tx) {
-				victim = cand
-			}
-		}
-	}
-	return victim
+	return buf
 }
 
-func addEdge(edges map[tree.TID]map[tree.TID]struct{}, a, b tree.TID) {
-	if a == b || b == tree.Root {
-		return
-	}
-	s := edges[a]
-	if s == nil {
-		s = make(map[tree.TID]struct{})
-		edges[a] = s
-	}
-	s[b] = struct{}{}
-}
-
-// findCycle returns some cycle containing start, or nil.
-func findCycle(edges map[tree.TID]map[tree.TID]struct{}, start tree.TID) []tree.TID {
+// detectLocked looks for a wait-for cycle reachable from the start
+// transactions and returns the chosen victim's waiter, or nil. Caller
+// holds m.mu.
+func (m *Manager) detectLocked(starts []tree.TID) *waiter {
+	visited := map[tree.TID]bool{}
 	onPath := map[tree.TID]bool{}
 	var path []tree.TID
-	visited := map[tree.TID]bool{}
 	var dfs func(t tree.TID) []tree.TID
 	dfs = func(t tree.TID) []tree.TID {
 		if onPath[t] {
@@ -443,7 +562,10 @@ func findCycle(edges map[tree.TID]map[tree.TID]struct{}, start tree.TID) []tree.
 		visited[t] = true
 		onPath[t] = true
 		path = append(path, t)
-		for u := range edges[t] {
+		for _, u := range m.succLocked(t, nil) {
+			if u == tree.Root {
+				continue
+			}
 			if c := dfs(u); c != nil {
 				return c
 			}
@@ -452,13 +574,34 @@ func findCycle(edges map[tree.TID]map[tree.TID]struct{}, start tree.TID) []tree.
 		path = path[:len(path)-1]
 		return nil
 	}
-	return dfs(start)
+	var cycle []tree.TID
+	for _, s := range starts {
+		if cycle = dfs(s); cycle != nil {
+			break
+		}
+	}
+	if cycle == nil {
+		return nil
+	}
+	// Victim: the deepest transaction in the cycle that is actually
+	// waiting, breaking level ties in favour of the latest sibling —
+	// path components compare numerically, so T0.10 outranks T0.9.
+	var victim *waiter
+	for _, t := range cycle {
+		for _, cand := range m.waiting[t] {
+			if victim == nil || cand.tx.Level() > victim.tx.Level() ||
+				(cand.tx.Level() == victim.tx.Level() && tree.Compare(cand.tx, victim.tx) > 0) {
+				victim = cand
+			}
+		}
+	}
+	return victim
 }
 
 // CheckInvariants verifies Lemma 21 (lockholders of each object are
 // pairwise ancestry-related where one holds a write lock, and the write
-// table is a chain) and version-map consistency, for tests and stress
-// runs.
+// table is a chain), version-map consistency, and that the held-locks
+// index agrees exactly with the lock tables, for tests and stress runs.
 func (m *Manager) CheckInvariants() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -475,6 +618,76 @@ func (m *Manager) CheckInvariants() error {
 		}
 		if len(ls.versions) != ls.write.Len() {
 			return fmt.Errorf("lockmgr: %s: %d versions for %d write holders", x, len(ls.versions), ls.write.Len())
+		}
+		// Every lockholder must appear in the held-locks index.
+		for _, s := range []tree.Set{ls.read, ls.write} {
+			for t := range s {
+				if _, ok := m.held[t][ls]; !ok {
+					return fmt.Errorf("lockmgr: %s: holder %s missing from held-locks index", x, t)
+				}
+			}
+		}
+	}
+	// Every index entry must be backed by a lock.
+	for t, objs := range m.held {
+		if len(objs) == 0 {
+			return fmt.Errorf("lockmgr: empty held-locks index entry for %s", t)
+		}
+		for ls := range objs {
+			if !ls.read.Has(t) && !ls.write.Has(t) {
+				return fmt.Errorf("lockmgr: held-locks index lists %s on %s without a lock", t, ls.name)
+			}
+		}
+	}
+	// Queue bookkeeping: contended is exactly the non-empty queues, and
+	// the waiting index lists exactly the queued waiters.
+	for ls := range m.contended {
+		if len(ls.queue) == 0 {
+			return fmt.Errorf("lockmgr: %s marked contended with empty queue", ls.name)
+		}
+	}
+	queued := 0
+	for _, ls := range m.objects {
+		queued += len(ls.queue)
+		if len(ls.queue) > 0 {
+			if _, ok := m.contended[ls]; !ok {
+				return fmt.Errorf("lockmgr: %s has %d queued waiters but is not marked contended", ls.name, len(ls.queue))
+			}
+		}
+		for _, w := range ls.queue {
+			found := false
+			for _, q := range m.waiting[w.tx] {
+				if q == w {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("lockmgr: waiter of %s on %s missing from waiting index", w.tx, ls.name)
+			}
+		}
+	}
+	indexed := 0
+	for t, ws := range m.waiting {
+		if len(ws) == 0 {
+			return fmt.Errorf("lockmgr: empty waiting-index entry for %s", t)
+		}
+		indexed += len(ws)
+		if _, ok := m.topWaiting[tree.Root.ChildToward(t)][t]; !ok {
+			return fmt.Errorf("lockmgr: waiting transaction %s missing from top-level grouping", t)
+		}
+	}
+	if queued != indexed {
+		return fmt.Errorf("lockmgr: %d queued waiters but %d indexed", queued, indexed)
+	}
+	for top, s := range m.topWaiting {
+		if len(s) == 0 {
+			return fmt.Errorf("lockmgr: empty top-level grouping for %s", top)
+		}
+		for t := range s {
+			if len(m.waiting[t]) == 0 {
+				return fmt.Errorf("lockmgr: top-level grouping lists %s with no waiters", t)
+			}
 		}
 	}
 	return nil

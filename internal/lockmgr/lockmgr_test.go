@@ -292,6 +292,222 @@ func TestGrantCompletesCycle(t *testing.T) {
 	}
 }
 
+// TestVictimTieBreakNumeric pins the "latest sibling" victim choice: in a
+// level-tied cycle between T0.9 and T0.10 the victim must be T0.10. A
+// lexicographic tie-break gets this backwards ("T0.9" > "T0.10" as
+// strings), so this test fails against string comparison.
+func TestVictimTieBreakNumeric(t *testing.T) {
+	m := New(nil, core.ReadWrite)
+	for _, x := range []string{"X", "Y"} {
+		if err := m.Register(x, adt.NewRegister(int64(0))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Acquire("T0.9", "T0.9.0", "X", adt.RegWrite{V: int64(1)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Acquire("T0.10", "T0.10.0", "Y", adt.RegWrite{V: int64(1)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	type res struct {
+		tx  tree.TID
+		err error
+	}
+	results := make(chan res, 2)
+	go func() {
+		_, err := m.Acquire("T0.9", "T0.9.1", "Y", adt.RegWrite{V: int64(2)}, nil)
+		results <- res{"T0.9", err}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	go func() {
+		_, err := m.Acquire("T0.10", "T0.10.1", "X", adt.RegWrite{V: int64(2)}, nil)
+		results <- res{"T0.10", err}
+	}()
+	// Exactly one side is the victim, and it must be T0.10 (the latest
+	// sibling under numeric path order).
+	var victims, grants []tree.TID
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-results:
+			if errors.Is(r.err, ErrDeadlock) {
+				victims = append(victims, r.tx)
+				m.Abort(r.tx) // release the victim's locks so the other side proceeds
+			} else if r.err == nil {
+				grants = append(grants, r.tx)
+			} else {
+				t.Fatalf("%s: unexpected error %v", r.tx, r.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("deadlock not resolved (victims=%v grants=%v)", victims, grants)
+		}
+	}
+	if len(victims) != 1 || victims[0] != "T0.10" {
+		t.Fatalf("victim = %v, want [T0.10]", victims)
+	}
+}
+
+// TestCancelVictimRace pins the Acquire contract when a deadlock-victim
+// choice races an external cancel: the victim outcome — already counted
+// in Stats.Deadlocks — must win, so retry loops keyed on ErrDeadlock
+// observe it. The victim's wake channel and the cancel channel are both
+// ready when the waiter's select runs; either branch must report
+// ErrDeadlock.
+func TestCancelVictimRace(t *testing.T) {
+	// The select between wake and cancel picks pseudo-randomly when both
+	// are ready; iterate so each branch is exercised with overwhelming
+	// probability.
+	for iter := 0; iter < 25; iter++ {
+		m := newMgr(t)
+		// T0.2 read-holds X; T0.5 write-holds Y.
+		if _, err := m.Acquire("T0.2", "T0.2.0", "X", adt.RegRead{}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Acquire("T0.5", "T0.5.0", "Y", adt.RegWrite{V: int64(1)}, nil); err != nil {
+			t.Fatal(err)
+		}
+		// T0.5 blocks writing X (conflicts with T0.2's read lock).
+		cancel := make(chan struct{})
+		errCh := make(chan error, 1)
+		go func() {
+			_, err := m.Acquire("T0.5", "T0.5.1", "X", adt.RegWrite{V: int64(2)}, cancel)
+			errCh <- err
+		}()
+		time.Sleep(5 * time.Millisecond)
+		// T0.2 requesting Y completes the cycle; the victim (deepest,
+		// latest sibling: T0.5) is chosen while its waiter sleeps.
+		otherErr := make(chan error, 1)
+		go func() {
+			_, err := m.Acquire("T0.2", "T0.2.1", "Y", adt.RegWrite{V: int64(3)}, nil)
+			otherErr <- err
+		}()
+		deadline := time.Now().Add(5 * time.Second)
+		for m.Stats().Deadlocks == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("victim never chosen")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		// The waiter is a chosen victim; now the cancel also fires. Both
+		// select branches are ready — the result must still be the
+		// deadlock, not ErrCancelled.
+		close(cancel)
+		select {
+		case err := <-errCh:
+			if !errors.Is(err, ErrDeadlock) {
+				t.Fatalf("iter %d: victim+cancel returned %v, want ErrDeadlock", iter, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("victim waiter did not return")
+		}
+		// Clean up: abort the victim so T0.2's pending acquire completes.
+		m.Abort("T0.5")
+		select {
+		case err := <-otherErr:
+			if err != nil && !errors.Is(err, ErrDeadlock) {
+				t.Fatalf("survivor error %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("survivor did not proceed after victim abort")
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTargetedWakeupStats pins the wakeup discipline: a commit wakes only
+// the waiters queued on objects whose lock tables it changed — a commit
+// on an unrelated object disturbs nobody — and the new Stats counters
+// observe it.
+func TestTargetedWakeupStats(t *testing.T) {
+	m := newMgr(t)
+	if _, err := m.Acquire("T0.0", "T0.0.0", "X", adt.RegWrite{V: int64(1)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Acquire("T0.1", "T0.1.0", "Y", adt.RegWrite{V: int64(1)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, err := m.Acquire("T0.2", "T0.2.0", "X", adt.RegRead{}, nil)
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if d := m.Stats().MaxQueueDepth; d != 1 {
+		t.Fatalf("MaxQueueDepth = %d, want 1", d)
+	}
+	// Committing T0.1 changes only Y's lock table: the waiter on X must
+	// not be woken.
+	m.Commit("T0.1", int64(0))
+	select {
+	case err := <-got:
+		t.Fatalf("waiter on X woke after unrelated commit on Y (err=%v)", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	if w := m.Stats().Wakeups; w != 0 {
+		t.Fatalf("Wakeups = %d after unrelated commit, want 0", w)
+	}
+	// Committing T0.0 releases X: exactly one targeted wakeup, and the
+	// woken waiter is admitted (no spurious re-block).
+	m.Commit("T0.0", int64(0))
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter on X did not wake after commit on X")
+	}
+	st := m.Stats()
+	if st.Wakeups != 1 {
+		t.Fatalf("Wakeups = %d, want 1", st.Wakeups)
+	}
+	if st.SpuriousWakeups != 0 {
+		t.Fatalf("SpuriousWakeups = %d, want 0", st.SpuriousWakeups)
+	}
+	m.Commit("T0.2", int64(0))
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeldIndexTracksInheritance walks a lock through a commit chain and
+// an abort and checks (via CheckInvariants' index⇄table cross-check) that
+// the held-locks index follows the lock at every step.
+func TestHeldIndexTracksInheritance(t *testing.T) {
+	m := newMgr(t)
+	check := func(step string) {
+		t.Helper()
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+	}
+	if _, err := m.Acquire("T0.0.0", "T0.0.0.0", "X", adt.RegWrite{V: int64(7)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	check("after grant to T0.0.0")
+	m.Commit("T0.0.0", int64(0)) // lock inherited by T0.0
+	check("after commit of T0.0.0")
+	if _, err := m.Acquire("T0.0.1", "T0.0.1.0", "Y", adt.RegRead{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	check("after read grant to T0.0.1")
+	m.Abort("T0.0") // discards the whole subtree's locks and index entries
+	check("after abort of T0.0")
+	// Everything is released: an unrelated writer proceeds immediately and
+	// sees the rolled-back state.
+	v, err := m.Acquire("T0.1", "T0.1.0", "X", adt.RegRead{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(0) {
+		t.Fatalf("X = %v after abort, want rolled-back 0", v)
+	}
+	if st := m.Stats(); st.Waits != 0 {
+		t.Fatalf("Waits = %d, want 0 (nothing should have blocked)", st.Waits)
+	}
+}
+
 func TestRecordingProducesLegalSchedule(t *testing.T) {
 	rec := event.NewRecorder()
 	m := New(rec, core.ReadWrite)

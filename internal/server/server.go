@@ -478,6 +478,9 @@ func (ss *session) handleStats() *wire.Response {
 		Deadlocks:       lk.Deadlocks,
 		CommitMoves:     lk.CommitMoves,
 		AbortReleases:   lk.AbortReleases,
+		Wakeups:         lk.Wakeups,
+		SpuriousWakeups: lk.SpuriousWakeups,
+		MaxQueueDepth:   lk.MaxQueueDepth,
 	}}
 }
 

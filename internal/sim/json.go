@@ -21,6 +21,8 @@ type resultJSON struct {
 	Retried   int     `json:"retried"`
 	Waits     uint64  `json:"waits"`
 	Deadlocks uint64  `json:"deadlocks"`
+	Wakeups   uint64  `json:"wakeups"`
+	Spurious  uint64  `json:"spurious_wakeups"`
 }
 
 func toResultJSON(r Result) resultJSON {
@@ -34,6 +36,8 @@ func toResultJSON(r Result) resultJSON {
 		Retried:   r.Retried,
 		Waits:     r.Stats.Waits,
 		Deadlocks: r.Stats.Deadlocks,
+		Wakeups:   r.Stats.Wakeups,
+		Spurious:  r.Stats.SpuriousWakeups,
 	}
 }
 

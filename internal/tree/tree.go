@@ -153,6 +153,43 @@ func (t TID) ProperAncestors() []TID {
 	return a[:len(a)-1]
 }
 
+// Compare orders TIDs by their tree paths, comparing path components
+// numerically: T0.9 < T0.10, and an ancestor sorts before its
+// descendants. It returns -1, 0 or +1. Lexicographic comparison of the
+// underlying strings is wrong for sibling order ("T0.9" > "T0.10"); use
+// Compare wherever "latest sibling" or any other path order matters
+// (e.g. deadlock-victim tie-breaking). Components that are not numbers
+// (only possible for invalid names) fall back to string comparison.
+func Compare(t, u TID) int {
+	if t == u {
+		return 0
+	}
+	tc, uc := t.components(), u.components()
+	for i := 0; i < len(tc) && i < len(uc); i++ {
+		a, b := tc[i], uc[i]
+		if a == b {
+			continue
+		}
+		ai, aerr := strconv.Atoi(a)
+		bi, berr := strconv.Atoi(b)
+		switch {
+		case aerr == nil && berr == nil && ai != bi:
+			if ai < bi {
+				return -1
+			}
+			return 1
+		case a < b:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if len(tc) < len(uc) {
+		return -1
+	}
+	return 1
+}
+
 func (t TID) components() []string {
 	return strings.Split(string(t), sep)
 }

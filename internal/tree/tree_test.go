@@ -252,3 +252,56 @@ func TestQuickAncestryTransitivity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b TID
+		want int
+	}{
+		{"T0", "T0", 0},
+		{"T0", "T0.0", -1},
+		{"T0.0", "T0", 1},
+		{"T0.1", "T0.2", -1},
+		{"T0.9", "T0.10", -1},  // numeric, not lexicographic
+		{"T0.10", "T0.9", 1},
+		{"T0.2.9", "T0.2.10", -1},
+		{"T0.10", "T0.10", 0},
+		{"T0.9.5", "T0.10", -1}, // first differing component decides
+		{"T0.1.100", "T0.1.99", 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		// Antisymmetry.
+		if got := Compare(c.b, c.a); got != -c.want {
+			t.Errorf("Compare(%q, %q) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestComparePropertiesQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randTID := func() TID {
+		id := Root
+		for d := rng.Intn(4); d > 0; d-- {
+			id = id.Child(rng.Intn(20))
+		}
+		return id
+	}
+	// Compare is consistent with ancestry: a proper ancestor sorts first.
+	if err := quick.Check(func() bool {
+		a := randTID()
+		b := a.Child(rng.Intn(20))
+		return Compare(a, b) < 0 && Compare(b, a) > 0
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// Equality is exactly Compare == 0.
+	if err := quick.Check(func() bool {
+		a, b := randTID(), randTID()
+		return (Compare(a, b) == 0) == (a == b)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

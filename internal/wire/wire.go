@@ -99,6 +99,10 @@ type Stats struct {
 	Deadlocks     uint64 `json:"lock_deadlocks"`
 	CommitMoves   uint64 `json:"lock_commit_moves"`
 	AbortReleases uint64 `json:"lock_abort_releases"`
+
+	Wakeups         uint64 `json:"lock_wakeups"`
+	SpuriousWakeups uint64 `json:"lock_spurious_wakeups"`
+	MaxQueueDepth   uint64 `json:"lock_max_queue_depth"`
 }
 
 // EncodeOp wraps the adt codec for request building.

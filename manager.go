@@ -126,8 +126,10 @@ func (m *Manager) Run(fn func(*Tx) error) error {
 
 // RunRetry is Run, retrying up to attempts times when the transaction
 // fails with ErrDeadlock, with jittered exponential backoff between
-// attempts to break victim livelock.
+// attempts to break victim livelock. attempts values below 1 are clamped
+// to 1: fn always executes at least once.
 func (m *Manager) RunRetry(attempts int, fn func(*Tx) error) error {
+	attempts = clampAttempts(attempts)
 	var err error
 	for i := 0; i < attempts; i++ {
 		err = m.Run(fn)

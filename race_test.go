@@ -140,6 +140,178 @@ func TestRegisterRacesTransactionsAndStats(t *testing.T) {
 	}
 }
 
+// TestRunCtxCancelWhileBlocked cancels a context while the transaction's
+// access is parked on a per-object wait queue: the waiter must unblock
+// promptly via the abort cascade, the transaction must roll back, and
+// RunCtx must surface ctx.Err().
+func TestRunCtxCancelWhileBlocked(t *testing.T) {
+	m := NewManager()
+	m.MustRegister("x", Counter{})
+
+	// Holder: a transaction that write-locks x and parks until released.
+	release := make(chan struct{})
+	holderBlocked := make(chan struct{})
+	holderDone := make(chan error, 1)
+	go func() {
+		holderDone <- m.Run(func(tx *Tx) error {
+			if _, err := tx.Write("x", CtrAdd{Delta: 1}); err != nil {
+				return err
+			}
+			close(holderBlocked)
+			<-release
+			return nil
+		})
+	}()
+	<-holderBlocked
+
+	// Victim: blocks acquiring x, then its context is cancelled.
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	victimDone := make(chan error, 1)
+	go func() {
+		victimDone <- m.RunCtx(ctx, func(tx *Tx) error {
+			close(started)
+			_, err := tx.Write("x", CtrAdd{Delta: 100})
+			return err
+		})
+	}()
+	<-started
+	time.Sleep(5 * time.Millisecond) // let the access reach the wait queue
+	cancel()
+	select {
+	case err := <-victimDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled RunCtx did not unblock while parked on the wait queue")
+	}
+
+	// The holder commits untouched; the cancelled write never landed.
+	close(release)
+	if err := <-holderDone; err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.State("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(Counter).N != 1 {
+		t.Fatalf("x = %d, want 1 (cancelled write must roll back)", st.(Counter).N)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbortCascadeRacesTargetedWakeups races markAborted cascades (parents
+// aborting spawned children that are parked on wait queues) against the
+// targeted wakeups issued by concurrent commits and aborts on the same
+// objects. Run under -race; asserts quiescence, counter consistency, and
+// the lock-table⇄held-index invariants.
+func TestAbortCascadeRacesTargetedWakeups(t *testing.T) {
+	const (
+		objects     = 4
+		workers     = 8
+		txPerWorker = 30
+	)
+	m := NewManager()
+	names := make([]string, objects)
+	for i := range names {
+		names[i] = fmt.Sprintf("o%d", i)
+		m.MustRegister(names[i], Counter{})
+	}
+
+	var committedAdds atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := w * 2654435761
+			for j := 0; j < txPerWorker; j++ {
+				rng ^= j<<16 + j
+				first := names[(w+j)%objects]
+				second := names[(w+j+1)%objects]
+				abortParent := j%3 == 0
+				adds := 0
+				err := m.RunRetry(50, func(tx *Tx) error {
+					adds = 0
+					// Two concurrent children contending on shared objects:
+					// when the parent aborts, their parked waiters must be
+					// cancelled by the cascade while other transactions'
+					// commits fire targeted wakeups on the same queues.
+					h1 := tx.Go(func(sub *Tx) error {
+						if _, err := sub.Write(first, CtrAdd{Delta: 1}); err != nil {
+							return err
+						}
+						_, err := sub.Write(second, CtrAdd{Delta: 1})
+						return err
+					})
+					h2 := tx.Go(func(sub *Tx) error {
+						if _, err := sub.Write(second, CtrAdd{Delta: 1}); err != nil {
+							return err
+						}
+						_, err := sub.Write(first, CtrAdd{Delta: 1})
+						return err
+					})
+					if err := h1.Wait(); err != nil {
+						return err
+					}
+					adds += 2
+					if err := h2.Wait(); err != nil {
+						return err
+					}
+					adds += 2
+					if abortParent {
+						return ErrAborted // voluntary abort: cascade + rollback
+					}
+					return nil
+				})
+				switch {
+				case err == nil:
+					committedAdds.Add(int64(adds))
+				case abortParent && errors.Is(err, ErrAborted):
+					// expected voluntary abort
+				case errors.Is(err, ErrDeadlock):
+					// retries exhausted under extreme contention: legal
+				default:
+					errc <- fmt.Errorf("worker %d tx %d: %w", w, j, err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("cascade/wakeup stress did not quiesce")
+	}
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Post-quiescence: object states sum to exactly the committed adds.
+	var total int64
+	for _, name := range names {
+		st, err := m.State(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.(Counter).N
+	}
+	if total != committedAdds.Load() {
+		t.Fatalf("sum over objects = %d, want %d committed adds", total, committedAdds.Load())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("post-quiescence invariants: %v", err)
+	}
+}
+
 // TestRunRetryCtxCancelDuringBackoff pins the RunRetryCtx contract: a
 // context cancelled between deadlock-backoff attempts stops the retry
 // loop promptly, with both the context error and the deadlock visible.

@@ -1,0 +1,85 @@
+package nestedtx
+
+import (
+	"context"
+	"testing"
+)
+
+// The retry entry points clamp attempts <= 0 to a single attempt: a
+// non-positive retry budget must never silently skip the body and report
+// success for a transaction that never executed.
+
+func TestRunRetryClampsNonPositiveAttempts(t *testing.T) {
+	for _, attempts := range []int{0, -1, -100} {
+		m := NewManager()
+		m.MustRegister("x", Counter{})
+		runs := 0
+		if err := m.RunRetry(attempts, func(tx *Tx) error {
+			runs++
+			_, err := tx.Write("x", CtrAdd{Delta: 1})
+			return err
+		}); err != nil {
+			t.Fatalf("attempts=%d: %v", attempts, err)
+		}
+		if runs != 1 {
+			t.Fatalf("attempts=%d: body ran %d times, want 1", attempts, runs)
+		}
+		st, err := m.State("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.(Counter).N != 1 {
+			t.Fatalf("attempts=%d: x = %d, want 1 (the attempt must commit)", attempts, st.(Counter).N)
+		}
+	}
+}
+
+func TestSubRetryClampsNonPositiveAttempts(t *testing.T) {
+	for _, attempts := range []int{0, -1} {
+		m := NewManager()
+		m.MustRegister("x", Counter{})
+		runs := 0
+		if err := m.Run(func(tx *Tx) error {
+			return tx.SubRetry(attempts, func(sub *Tx) error {
+				runs++
+				_, err := sub.Write("x", CtrAdd{Delta: 1})
+				return err
+			})
+		}); err != nil {
+			t.Fatalf("attempts=%d: %v", attempts, err)
+		}
+		if runs != 1 {
+			t.Fatalf("attempts=%d: body ran %d times, want 1", attempts, runs)
+		}
+	}
+}
+
+func TestRunRetryCtxClampsNonPositiveAttempts(t *testing.T) {
+	for _, attempts := range []int{0, -1} {
+		m := NewManager()
+		m.MustRegister("x", Counter{})
+		runs := 0
+		if err := m.RunRetryCtx(context.Background(), attempts, func(tx *Tx) error {
+			runs++
+			_, err := tx.Write("x", CtrAdd{Delta: 1})
+			return err
+		}); err != nil {
+			t.Fatalf("attempts=%d: %v", attempts, err)
+		}
+		if runs != 1 {
+			t.Fatalf("attempts=%d: body ran %d times, want 1", attempts, runs)
+		}
+	}
+}
+
+// A clamped attempt still propagates the body's real error (no false
+// success either way).
+func TestRunRetryClampPropagatesError(t *testing.T) {
+	m := NewManager()
+	m.MustRegister("x", Counter{})
+	wantErr := context.DeadlineExceeded // any sentinel
+	err := m.RunRetry(0, func(tx *Tx) error { return wantErr })
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+}

@@ -145,7 +145,10 @@ func (tx *Tx) Sub(fn func(*Tx) error) error {
 
 // SubRetry is Sub, retrying up to attempts times while fn fails with
 // ErrDeadlock, with jittered exponential backoff between attempts.
+// attempts values below 1 are clamped to 1: fn always executes at least
+// once.
 func (tx *Tx) SubRetry(attempts int, fn func(*Tx) error) error {
+	attempts = clampAttempts(attempts)
 	var err error
 	for i := 0; i < attempts; i++ {
 		err = tx.Sub(fn)
@@ -155,6 +158,16 @@ func (tx *Tx) SubRetry(attempts int, fn func(*Tx) error) error {
 		backoff(i)
 	}
 	return err
+}
+
+// clampAttempts normalises a retry budget: a non-positive attempts would
+// silently skip the body and report success for a transaction that never
+// executed, so every retry entry point runs at least one attempt.
+func clampAttempts(attempts int) int {
+	if attempts < 1 {
+		return 1
+	}
+	return attempts
 }
 
 // backoff sleeps a jittered, exponentially growing interval after the
