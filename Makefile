@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-short fuzz clean
+.PHONY: all build vet test race bench bench-short chaos fuzz clean
 
 all: build test
 
@@ -30,6 +30,15 @@ bench:
 # without paying for statistically meaningful timings).
 bench-short:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
+# Fault-injection suite under the race detector: the faultnet proxy,
+# client poisoning/pool tests, the server's connection-failure e2e
+# (cuts, stalls, partitions, the E11 fault-rate sweep) and the network
+# chaos soak.
+chaos: vet
+	$(GO) test -race ./internal/faultnet ./client
+	$(GO) test -race -run 'Fault|Poison|Stalled|Timeout|Pool|E11' ./internal/server
+	$(GO) test -race -run NetworkChaosSoak .
 
 fuzz:
 	$(GO) test -fuzz FuzzTheorem34 -fuzztime 30s ./internal/checker

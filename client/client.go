@@ -8,7 +8,16 @@
 // A Client owns one connection — one server session — and serialises its
 // requests, so a Client is safe for concurrent use but transactions on
 // it execute one request at a time; open several Clients for concurrent
-// top-level transactions.
+// top-level transactions, or use a [Pool].
+//
+// Connections fail closed: any transport fault (client-side deadline,
+// partial read, connection reset) or protocol desynchronisation poisons
+// the Client — every later call fails fast with [ErrConnLost] rather
+// than reading a stale frame. [Pool] layers reconnection on top:
+// poisoned connections are replaced with jittered-backoff redials, and
+// [Pool.RunRetry] treats ErrConnLost as retryable (a lost connection's
+// open transaction is aborted server-side, so the body can safely run
+// again on a fresh connection).
 package client
 
 import (
@@ -40,6 +49,21 @@ var ErrTimeout = errors.New("client: request timed out server-side")
 // ErrBusy is wrapped by connection-limit rejections.
 var ErrBusy = errors.New("client: server at connection limit")
 
+// ErrConnLost is wrapped by every error a Client returns once its
+// connection is poisoned: any transport fault (client-side deadline,
+// partial read, reset, or a sequence-number mismatch proving the stream
+// is desynchronised) marks the connection permanently dead, and all
+// later calls fail fast with ErrConnLost instead of reading a stale
+// frame. A lost connection means the server will abort whatever
+// transaction was open on it (session teardown or the idle reaper), so
+// a workload that failed with ErrConnLost is safe to re-run on a fresh
+// connection — [Pool.RunRetry] does exactly that.
+var ErrConnLost = errors.New("client: connection lost")
+
+// ErrMalformed is wrapped by protocol-shape violations that are not
+// transport faults — e.g. an OK STATS response missing its payload.
+var ErrMalformed = errors.New("client: malformed server response")
+
 // Option configures Dial.
 type Option func(*Client)
 
@@ -56,6 +80,7 @@ type Client struct {
 	bw   *bufio.Writer
 	br   *bufio.Reader
 	seq  uint64
+	lost error // non-nil once the connection is poisoned; the cause
 }
 
 // Dial connects to a transaction server at addr.
@@ -79,34 +104,65 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 }
 
 // Close tears down the session; the server aborts any transaction the
-// client left open.
+// client left open. A closed Client is poisoned: later calls fail with
+// [ErrConnLost].
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.lost == nil {
+		c.lost = errors.New("client closed")
+	}
 	return c.conn.Close()
+}
+
+// Lost reports whether the connection is poisoned — a transport fault
+// (or Close) has made it permanently unusable. [Pool] uses this as the
+// health check when recycling connections.
+func (c *Client) Lost() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lost != nil
+}
+
+// poison marks the connection permanently dead and closes it. Once a
+// request/response exchange has failed partway, the stream position is
+// unknowable — the next frame on the wire could be the stale response
+// to the failed request — so the only safe move is to refuse to read it.
+// Called with c.mu held.
+func (c *Client) poison(cause error) error {
+	c.lost = cause
+	c.conn.Close()
+	return fmt.Errorf("%w: %v", ErrConnLost, cause)
 }
 
 // call performs one request/response round-trip.
 func (c *Client) call(req *wire.Request) (*wire.Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.lost != nil {
+		return nil, fmt.Errorf("%w (poisoned by earlier fault: %v)", ErrConnLost, c.lost)
+	}
 	c.seq++
 	req.Seq = c.seq
 	if c.timeout > 0 {
 		c.conn.SetDeadline(time.Now().Add(c.timeout))
 	}
 	if err := wire.WriteFrame(c.bw, req); err != nil {
-		return nil, fmt.Errorf("client: send: %w", err)
+		return nil, c.poison(fmt.Errorf("send: %w", err))
 	}
 	resp, err := wire.ReadResponse(c.br)
 	if err != nil {
-		return nil, fmt.Errorf("client: receive: %w", err)
+		return nil, c.poison(fmt.Errorf("receive: %w", err))
 	}
 	if resp.Code == wire.CodeBusy {
+		// A pre-session refusal frame (it carries no seq); the server
+		// closes the connection after sending it.
 		return nil, fmt.Errorf("%w: %s", ErrBusy, resp.Err)
 	}
 	if resp.Seq != req.Seq {
-		return nil, fmt.Errorf("client: response seq %d for request %d", resp.Seq, req.Seq)
+		// The stream is desynchronised (e.g. this is the stale response
+		// to a request whose reply we previously timed out waiting for).
+		return nil, c.poison(fmt.Errorf("response seq %d for request %d", resp.Seq, req.Seq))
 	}
 	return resp, nil
 }
@@ -161,6 +217,11 @@ func (c *Client) Stats() (wire.Stats, error) {
 	}
 	if err := respErr(resp); err != nil {
 		return wire.Stats{}, err
+	}
+	if resp.Stats == nil {
+		// A malformed (or older) server answered OK without the payload;
+		// fail typed rather than panicking on the nil dereference.
+		return wire.Stats{}, fmt.Errorf("%w: OK STATS response without stats payload", ErrMalformed)
 	}
 	return *resp.Stats, nil
 }
@@ -274,6 +335,11 @@ func (c *Client) Run(fn func(*Tx) error) error {
 		return err
 	}
 	if err := fn(tx); err != nil {
+		if errors.Is(err, ErrConnLost) {
+			// The connection is gone: ABORT cannot be delivered, and the
+			// server aborts the open tree on session teardown anyway.
+			return err
+		}
 		if aerr := tx.Abort(); aerr != nil && !errors.Is(err, nestedtx.ErrAborted) {
 			return errors.Join(err, aerr)
 		}
@@ -284,8 +350,12 @@ func (c *Client) Run(fn func(*Tx) error) error {
 
 // RunRetry is Run, retrying up to attempts times while the transaction
 // fails as a deadlock victim, with jittered exponential backoff — the
-// remote mirror of Manager.RunRetry.
+// remote mirror of Manager.RunRetry. attempts values below 1 are
+// clamped to 1, so fn always runs at least once.
 func (c *Client) RunRetry(attempts int, fn func(*Tx) error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
 	var err error
 	for i := 0; i < attempts; i++ {
 		err = c.Run(fn)

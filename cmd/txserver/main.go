@@ -6,6 +6,7 @@
 //
 //	txserver [-addr :7654] [-objects spec] [-max-conns N]
 //	         [-idle-timeout D] [-req-timeout D] [-exclusive] [-record]
+//	         [-chaos]
 //
 // The -objects flag declares the shared universe as comma-separated
 // name=kind pairs, where kind is one of counter, register, account, set,
@@ -18,6 +19,13 @@
 // paper's guarantee stays checkable against real network executions.
 // Recording grows memory with history size, so it is meant for bounded
 // validation runs rather than long-lived production service.
+//
+// With -chaos the server does not wait for clients: it fronts itself
+// with an internal/faultnet fault-injection proxy, drives a pooled
+// workload through connection cuts and a partition/heal cycle, checks
+// committed state against its own commit counter, then drains —
+// `txserver -record -chaos` is a self-contained "Theorem 34 under
+// network faults" check.
 package main
 
 import (
@@ -25,13 +33,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"nestedtx"
+	"nestedtx/client"
+	"nestedtx/internal/faultnet"
 	"nestedtx/internal/server"
 )
 
@@ -45,6 +57,7 @@ func main() {
 		exclusive   = flag.Bool("exclusive", false, "exclusive-locking mode: treat every access as a write (the paper's [LM] baseline)")
 		record      = flag.Bool("record", false, "record the formal schedule and Verify it on drain (Theorem 34 check)")
 		duration    = flag.Duration("duration", 0, "serve this long, then drain (0 = until SIGINT/SIGTERM)")
+		chaos       = flag.Bool("chaos", false, "fault-injection self-test: drive a pooled workload through a faultnet proxy with connection cuts and a partition, then drain (and with -record, verify) and exit")
 	)
 	flag.Parse()
 
@@ -58,6 +71,14 @@ func main() {
 	mgr := nestedtx.NewManager(opts...)
 	if err := registerObjects(mgr, *objects); err != nil {
 		log.Fatalf("txserver: %v", err)
+	}
+	if *chaos {
+		// The self-test workload runs on its own objects, so it composes
+		// with whatever -objects declared.
+		for i := 0; i < chaosWorkers; i++ {
+			mgr.MustRegister(fmt.Sprintf("chaos%d", i), nestedtx.Counter{})
+		}
+		mgr.MustRegister("chaos_hot", nestedtx.Counter{})
 	}
 
 	srv := server.New(mgr, server.Config{
@@ -73,7 +94,11 @@ func main() {
 	log.Printf("txserver: serving on %s (record=%v exclusive=%v max-conns=%d)",
 		*addr, *record, *exclusive, *maxConns)
 
-	if *duration > 0 {
+	if *chaos {
+		if err := runChaos(mgr, srv); err != nil {
+			log.Fatalf("txserver: chaos self-test: %v", err)
+		}
+	} else if *duration > 0 {
 		select {
 		case <-stop:
 		case <-time.After(*duration):
@@ -107,6 +132,109 @@ func main() {
 		}
 		log.Printf("txserver: schedule verified: well-formed, replays on M(X), serially correct (Theorem 34)")
 	}
+}
+
+const (
+	chaosWorkers   = 4
+	chaosPerWorker = 25
+)
+
+// runChaos is the -chaos self-test: it fronts the live server with a
+// faultnet proxy, drives a pooled workload through it while repeatedly
+// cutting every live connection and imposing one partition/heal cycle,
+// and checks the workload completes and the committed state matches the
+// server's commit counter exactly. The caller then drains (and with
+// -record, verifies) as usual — so `txserver -record -chaos` is a
+// one-command "Theorem 34 under network faults" check.
+func runChaos(mgr *nestedtx.Manager, srv *server.Server) error {
+	var addr net.Addr
+	for i := 0; i < 100 && addr == nil; i++ {
+		if addr = srv.Addr(); addr == nil {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if addr == nil {
+		return fmt.Errorf("server never started listening")
+	}
+	px, err := faultnet.New(addr.String(), faultnet.Faults{
+		Latency: 200 * time.Microsecond,
+		Jitter:  time.Millisecond,
+	}, 1)
+	if err != nil {
+		return err
+	}
+	defer px.Close()
+	pool, err := client.NewPool(px.Addr(), chaosWorkers, client.WithTimeout(5*time.Second))
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	log.Printf("txserver: chaos self-test: %d workers × %d transactions through %s (cuts + partition)",
+		chaosWorkers, chaosPerWorker, px.Addr())
+
+	chaosDone := make(chan struct{})
+	go func() {
+		defer close(chaosDone)
+		for i := 0; i < 16; i++ {
+			time.Sleep(30 * time.Millisecond)
+			if i == 8 {
+				px.Partition()
+				time.Sleep(150 * time.Millisecond)
+				px.Heal()
+				continue
+			}
+			px.CutAll()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, chaosWorkers)
+	for w := 0; w < chaosWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			obj := fmt.Sprintf("chaos%d", w)
+			for j := 0; j < chaosPerWorker; j++ {
+				err := pool.RunRetry(200, func(tx *client.Tx) error {
+					if err := tx.Sub(func(sub *client.Tx) error {
+						_, err := sub.Write("chaos_hot", nestedtx.CtrAdd{Delta: 1})
+						return err
+					}); err != nil {
+						return err
+					}
+					_, err := tx.Write(obj, nestedtx.CtrAdd{Delta: 1})
+					return err
+				})
+				if err != nil {
+					errc <- fmt.Errorf("worker %d item %d: %w", w, j, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	<-chaosDone
+	close(errc)
+	for err := range errc {
+		return err
+	}
+
+	// Exact accounting despite lost responses: every commit is one +1 to
+	// chaos_hot, so state must equal the server's commit counter.
+	st, err := mgr.State("chaos_hot")
+	if err != nil {
+		return err
+	}
+	hot := st.(nestedtx.Counter).N
+	commits := int64(srv.Counters().Commits)
+	if hot != commits {
+		return fmt.Errorf("chaos_hot = %d but server committed %d: counters drifted", hot, commits)
+	}
+	accepted, cut := px.Stats()
+	ps := pool.Stats()
+	log.Printf("txserver: chaos self-test ok: %d commits (state matches), proxy accepted=%d cut=%d, pool redials=%d discarded=%d",
+		commits, accepted, cut, ps.Redials, ps.Discarded)
+	return nil
 }
 
 // registerObjects parses "name=kind,..." and registers each object.

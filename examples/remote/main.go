@@ -1,12 +1,20 @@
-// Example remote: two network clients contending on a shared bank
-// account through an in-process transaction server.
+// Example remote: network clients contending on shared bank accounts
+// through an in-process transaction server — with the network actively
+// failing underneath them.
 //
-// It starts a recording server on a loopback listener, connects two
-// clients that concurrently move money between a checking and a savings
-// account (forcing real lock conflicts and, occasionally, deadlock
-// retries), drains the server, machine-checks the recorded schedule
-// against the paper's correctness condition, and prints the final
-// verified state.
+// It starts a recording server on a loopback listener and fronts it
+// with a faultnet fault-injection proxy (added latency/jitter, plus a
+// background goroutine that keeps severing every live connection). Two
+// pooled workers concurrently move money between a checking and a
+// savings account through the proxy: deadlock victims retry, and cut
+// connections poison the client (ErrConnLost), get replaced by the
+// pool's jittered-backoff redial, and the transfer re-runs safely —
+// a lost connection's open transaction is aborted server-side.
+//
+// Afterwards the server drains, the recorded schedule is machine-checked
+// against the paper's correctness condition (Theorem 34 — which the
+// checker proves for every non-orphan transaction, and cut connections
+// are exactly the orphan scenario), and money conservation is asserted.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 
 	"nestedtx"
 	"nestedtx/client"
+	"nestedtx/internal/faultnet"
 	"nestedtx/internal/server"
 )
 
@@ -27,18 +36,46 @@ func main() {
 	mgr.MustRegister("checking", nestedtx.Account{Balance: 1000})
 	mgr.MustRegister("savings", nestedtx.Account{Balance: 1000})
 
-	srv := server.New(mgr, server.Config{RequestTimeout: 10 * time.Second})
+	srv := server.New(mgr, server.Config{
+		RequestTimeout: 10 * time.Second,
+		IdleTimeout:    500 * time.Millisecond, // reap sessions orphaned by cuts
+	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	go srv.Serve(ln)
-	addr := ln.Addr().String()
-	fmt.Printf("server listening on %s\n", addr)
+	fmt.Printf("server listening on %s\n", ln.Addr())
 
-	// Each client repeatedly transfers 10 between the accounts — in
-	// opposite directions, so the two sessions' transactions conflict on
-	// both objects. RunRetry absorbs any deadlock victimhood.
+	// Front the server with a fault-injection proxy and keep cutting
+	// every live connection while the workload runs.
+	px, err := faultnet.New(ln.Addr().String(), faultnet.Faults{
+		Latency: 200 * time.Microsecond,
+		Jitter:  time.Millisecond,
+	}, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fault proxy on %s (cutting connections every 25ms)\n", px.Addr())
+	chaosDone := make(chan struct{})
+	go func() {
+		defer close(chaosDone)
+		for i := 0; i < 20; i++ {
+			time.Sleep(25 * time.Millisecond)
+			px.CutAll()
+		}
+	}()
+
+	pool, err := client.NewPool(px.Addr(), 2, client.WithTimeout(5*time.Second))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each worker repeatedly transfers 10 between the accounts — in
+	// opposite directions, so the transactions conflict on both objects.
+	// Pool.RunRetry absorbs both deadlock victimhood and lost
+	// connections (the body is safe to re-run: a cut connection's open
+	// transaction never commits).
 	transfer := func(from, to string) func(*client.Tx) error {
 		return func(tx *client.Tx) error {
 			return tx.Sub(func(sub *client.Tx) error {
@@ -60,22 +97,23 @@ func main() {
 		wg.Add(1)
 		go func(i int, from, to string) {
 			defer wg.Done()
-			c, err := client.Dial(addr)
-			if err != nil {
-				log.Fatalf("client %d: %v", i, err)
-			}
-			defer c.Close()
 			for n := 0; n < 20; n++ {
-				if err := c.RunRetry(20, transfer(from, to)); err != nil {
-					log.Fatalf("client %d transfer %d: %v", i, n, err)
+				if err := pool.RunRetry(100, transfer(from, to)); err != nil {
+					log.Fatalf("worker %d transfer %d: %v", i, n, err)
 				}
 			}
 		}(i, dir[0], dir[1])
 	}
 	wg.Wait()
+	<-chaosDone
 
+	pool.Close()
+	px.Close()
 	if err := srv.Shutdown(context.Background()); err != nil {
 		log.Fatal(err)
+	}
+	if err := mgr.CheckInvariants(); err != nil {
+		log.Fatalf("lock-table invariants violated: %v", err)
 	}
 	if err := mgr.Verify(); err != nil {
 		log.Fatalf("schedule verification failed: %v", err)
@@ -84,10 +122,14 @@ func main() {
 	checking, _ := mgr.State("checking")
 	savings, _ := mgr.State("savings")
 	st := srv.Counters()
-	fmt.Printf("final state (verified, Theorem 34): checking=%d savings=%d\n",
+	accepted, cut := px.Stats()
+	ps := pool.Stats()
+	fmt.Printf("final state (verified, Theorem 34 under faults): checking=%d savings=%d\n",
 		checking.(nestedtx.Account).Balance, savings.(nestedtx.Account).Balance)
-	fmt.Printf("server: %d sessions, %d requests, %d commits, %d deadlock victims\n",
-		st.TotalSessions, st.Requests, st.Commits, st.DeadlockVictims)
+	fmt.Printf("server: %d sessions, %d requests, %d commits, %d aborts, %d deadlock victims\n",
+		st.TotalSessions, st.Requests, st.Commits, st.Aborts, st.DeadlockVictims)
+	fmt.Printf("proxy: %d connections accepted, %d cut; pool: %d redials, %d poisoned conns discarded\n",
+		accepted, cut, ps.Redials, ps.Discarded)
 	if total := checking.(nestedtx.Account).Balance + savings.(nestedtx.Account).Balance; total != 2000 {
 		log.Fatalf("money not conserved: %d", total)
 	}

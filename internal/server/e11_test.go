@@ -1,0 +1,128 @@
+package server_test
+
+// E11 (EXPERIMENTS.md): throughput and abort breakdown vs connection
+// fault rate. A fixed pooled workload runs for a fixed window through a
+// faultnet proxy while every live connection is cut at a swept
+// interval; the log line per rate reports committed transactions/sec,
+// the server's commit/abort split, and the pool's reconnect activity.
+// Run with: go test -run TestE11FaultRateSweep -v ./internal/server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nestedtx"
+	"nestedtx/client"
+	"nestedtx/internal/faultnet"
+	"nestedtx/internal/server"
+)
+
+func TestE11FaultRateSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E11 sweep skipped in -short mode")
+	}
+	const (
+		workers = 4
+		window  = 400 * time.Millisecond
+	)
+	type row struct {
+		label     string
+		cutEvery  time.Duration // 0 = no faults
+		committed int64
+		commits   uint64
+		aborts    uint64
+		redials   uint64
+	}
+	rows := []*row{
+		{label: "none", cutEvery: 0},
+		{label: "cut every 100ms", cutEvery: 100 * time.Millisecond},
+		{label: "cut every 50ms", cutEvery: 50 * time.Millisecond},
+		{label: "cut every 25ms", cutEvery: 25 * time.Millisecond},
+	}
+	for _, r := range rows {
+		mgr := nestedtx.NewManager()
+		for w := 0; w < workers; w++ {
+			mgr.MustRegister(fmt.Sprintf("ctr%d", w), nestedtx.Counter{})
+		}
+		srv, addr := start(t, mgr, server.Config{IdleTimeout: 300 * time.Millisecond})
+		px, err := faultnet.New(addr, faultnet.Faults{}, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool, err := client.NewPool(px.Addr(), workers, client.WithTimeout(2*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		stopChaos := make(chan struct{})
+		var chaosWG sync.WaitGroup
+		if r.cutEvery > 0 {
+			chaosWG.Add(1)
+			go func(every time.Duration) {
+				defer chaosWG.Done()
+				tick := time.NewTicker(every)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stopChaos:
+						return
+					case <-tick.C:
+						px.CutAll()
+					}
+				}
+			}(r.cutEvery)
+		}
+
+		deadline := time.Now().Add(window)
+		var wg sync.WaitGroup
+		var committed atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				obj := fmt.Sprintf("ctr%d", w)
+				for time.Now().Before(deadline) {
+					err := pool.RunRetry(100, func(tx *client.Tx) error {
+						_, err := tx.Write(obj, nestedtx.CtrAdd{Delta: 1})
+						return err
+					})
+					if err != nil {
+						t.Errorf("rate %q worker %d: %v", r.label, w, err)
+						return
+					}
+					committed.Add(1)
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(stopChaos)
+		chaosWG.Wait()
+
+		c := srv.Counters()
+		ps := pool.Stats()
+		r.committed = committed.Load()
+		r.commits, r.aborts, r.redials = c.Commits, c.Aborts, ps.Redials
+		pool.Close()
+		px.Close()
+		t.Logf("E11 %-16s: %6.0f tx/s client-complete | server commits=%d aborts=%d (%.1f%% aborted) | pool redials=%d",
+			r.label, float64(r.committed)/window.Seconds(),
+			r.commits, r.aborts,
+			100*float64(r.aborts)/float64(r.commits+r.aborts), r.redials)
+	}
+	// Sanity, not timing assertions: the faultless run must not abort,
+	// and every faulted run must have survived via reconnects.
+	if rows[0].aborts != 0 {
+		t.Errorf("faultless run aborted %d transactions", rows[0].aborts)
+	}
+	for _, r := range rows[1:] {
+		if r.redials == 0 {
+			t.Errorf("rate %q: pool never redialled — faults not exercised", r.label)
+		}
+		if r.committed == 0 {
+			t.Errorf("rate %q: nothing committed", r.label)
+		}
+	}
+}

@@ -584,15 +584,40 @@ func (ss *session) handleOp(req *wire.Request) *wire.Response {
 		// deadline): abort the whole transaction tree, which unblocks it.
 		h.treeCancel()
 		<-cmd.reply
+		// Wait for the tree to finish unwinding before answering, so the
+		// session's next request deterministically sees a dead root: the
+		// stale handles (this one, ancestors parked in SUB, the root) are
+		// cleared by lookup and follow-ups report "aborted" rather than a
+		// bogus "has open subtransaction". Cancellation makes the unwind
+		// prompt — every loop in the tree selects treeCtx.Done.
+		<-h.root().done
 		return fail(wire.CodeTimeout,
 			fmt.Sprintf("request exceeded %v; transaction aborted", ss.srv.cfg.RequestTimeout))
 	}
 }
 
 func (ss *session) handleFinish(req *wire.Request, abort bool) *wire.Response {
-	h, resp := ss.lookup(req.Tx)
-	if resp != nil {
-		return resp
+	h, ok := ss.txs[req.Tx]
+	if !ok {
+		return fail(wire.CodeUnknownTx, fmt.Sprintf("no open transaction handle %d", req.Tx))
+	}
+	if treeDead(h) {
+		// The whole tree already aborted (per-request timeout,
+		// cancellation): this handle is stale. Drop it and answer what
+		// the client needs to unwind — ABORT of a dead handle is the
+		// idempotent no-op, COMMIT reports the abort. Each stale handle
+		// is cleared on its own touch (not the whole tree at once), so a
+		// client unwinding sub-by-sub gets a coherent answer at every
+		// level instead of unknown_tx.
+		delete(ss.txs, h.id)
+		if abort {
+			return &wire.Response{OK: true}
+		}
+		return fail(wire.CodeAborted, "transaction already aborted")
+	}
+	if h.busyChild != nil {
+		return fail(wire.CodeBadRequest,
+			fmt.Sprintf("transaction %d has open subtransaction %d", h.id, h.busyChild.id))
 	}
 	cmd := txCmd{kind: cmdFinish, abort: abort}
 	select {
@@ -621,11 +646,19 @@ func (ss *session) handleFinish(req *wire.Request, abort bool) *wire.Response {
 }
 
 // lookup resolves a handle id, rejecting unknown handles and handles
-// whose command loop is parked under an open subtransaction.
+// whose command loop is parked under an open subtransaction. A handle
+// whose tree has already died (per-request timeout abort, cancellation)
+// is reported as aborted — not as "has open subtransaction" — and the
+// touched handle is dropped, so a client that lost a subtransaction to
+// a timeout gets coherent answers on the parent.
 func (ss *session) lookup(id uint64) (*txHandle, *wire.Response) {
 	h, ok := ss.txs[id]
 	if !ok {
 		return nil, fail(wire.CodeUnknownTx, fmt.Sprintf("no open transaction handle %d", id))
+	}
+	if treeDead(h) {
+		delete(ss.txs, h.id)
+		return nil, fail(wire.CodeAborted, "transaction already finished")
 	}
 	if h.busyChild != nil {
 		return nil, fail(wire.CodeBadRequest,
@@ -633,6 +666,27 @@ func (ss *session) lookup(id uint64) (*txHandle, *wire.Response) {
 	}
 	return h, nil
 }
+
+// treeDead reports whether h's whole tree has finished (its root's
+// outcome is delivered) — true for handles left stale by a timeout
+// abort of the tree.
+func treeDead(h *txHandle) bool {
+	select {
+	case <-h.root().done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Stale handles of a dead tree are cleared lazily — each on its own
+// next touch (lookup, finish or deliver). A client that abandons a dead
+// tree's handles without touching them leaks the map entries until the
+// session closes, which is bounded and harmless; clearing eagerly would
+// instead make the *next* touch an unknown_tx, confusing clients that
+// unwind a timed-out tree level by level (Sub aborts the child, Run
+// then commits/aborts the parent). Only the session goroutine touches
+// ss.txs, so no locking is needed.
 
 // deliver hands cmd to h's command loop, failing fast if the loop is
 // gone or cannot take it within the request deadline.

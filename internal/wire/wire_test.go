@@ -121,3 +121,47 @@ func TestFrameRejectsOversizeAndGarbage(t *testing.T) {
 		t.Fatal("truncated payload accepted")
 	}
 }
+
+// TestFrameTruncationAndGarbage covers the exact mid-frame failure
+// shapes a cut or corrupted connection produces; none may be mistaken
+// for a clean EOF (only a stream ending *before any byte of a frame*
+// is io.EOF — everything else must surface as an error, so the client
+// can poison the connection rather than resynchronise on garbage).
+func TestFrameTruncationAndGarbage(t *testing.T) {
+	cases := []struct {
+		name  string
+		raw   string
+		frag  string // expected error substring; "" = any non-nil, non-EOF error
+		isEOF bool
+	}{
+		{"clean EOF before any byte", "", "", true},
+		{"EOF mid-header", "12", "read frame header", false},
+		{"negative length", "-5\nhello\n", "bad frame length", false},
+		{"non-numeric header", "twelve\n", "bad frame length", false},
+		{"header garbage binary", "\x00\x01\x02\n", "bad frame length", false},
+		{"short payload then EOF", "50\n{\"seq\":1}", "read frame payload", false},
+		{"payload missing trailing newline", "9\n{\"seq\":1}X", "trailing newline", false},
+		{"valid length, unparsable json", "3\n{\"s\n", "unmarshal", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var resp Response
+			err := ReadFrame(bufio.NewReader(strings.NewReader(tc.raw)), &resp)
+			if tc.isEOF {
+				if err != io.EOF {
+					t.Fatalf("got %v, want exactly io.EOF", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("corrupt frame accepted")
+			}
+			if errors.Is(err, io.EOF) && err == io.EOF {
+				t.Fatalf("mid-frame failure reported as clean EOF: %v", err)
+			}
+			if tc.frag != "" && !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("error %q does not mention %q", err, tc.frag)
+			}
+		})
+	}
+}

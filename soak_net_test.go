@@ -1,0 +1,136 @@
+package nestedtx_test
+
+// The network counterpart of TestSoak (soak_test.go): a bounded
+// endurance run of the full remote stack — server, wire protocol,
+// reconnecting client pool — under a seeded chaos schedule from the
+// faultnet proxy (latency, jitter, connection cuts, a partition/heal
+// cycle). Ends with the same safety net as the local soak: lock-table
+// invariants and full machine-checked verification of the recorded
+// schedule (Theorem 34 under network faults).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"nestedtx"
+	"nestedtx/client"
+	"nestedtx/internal/faultnet"
+	"nestedtx/internal/server"
+)
+
+func TestNetworkChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network chaos soak skipped in -short mode")
+	}
+	mgr := nestedtx.NewManager(nestedtx.WithRecording())
+	mgr.MustRegister("acct", nestedtx.Account{Balance: 1000})
+	mgr.MustRegister("ctr", nestedtx.Counter{})
+	mgr.MustRegister("reg", nestedtx.NewRegister(int64(0)))
+
+	srv := server.New(mgr, server.Config{
+		IdleTimeout:    500 * time.Millisecond,
+		RequestTimeout: 2 * time.Second,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+
+	px, err := faultnet.New(ln.Addr().String(), faultnet.Faults{
+		Latency: 100 * time.Microsecond,
+		Jitter:  500 * time.Microsecond,
+	}, 0xC0FFEE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := client.NewPool(px.Addr(), 3, client.WithTimeout(3*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seeded chaos: cuts at random intervals plus one partition window.
+	chaosDone := make(chan struct{})
+	go func() {
+		defer close(chaosDone)
+		rng := rand.New(rand.NewSource(0xC0FFEE))
+		for i := 0; i < 15; i++ {
+			time.Sleep(time.Duration(10+rng.Intn(30)) * time.Millisecond)
+			if i == 8 {
+				px.Partition()
+				time.Sleep(100 * time.Millisecond)
+				px.Heal()
+				continue
+			}
+			px.CutAll()
+		}
+	}()
+
+	const workers, perWorker = 3, 10
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for j := 0; j < perWorker; j++ {
+				kind := rng.Intn(3)
+				err := pool.RunRetry(200, func(tx *client.Tx) error {
+					switch kind {
+					case 0: // nested deposit
+						return tx.Sub(func(sub *client.Tx) error {
+							_, err := sub.Write("acct", nestedtx.AcctDeposit{Amount: 1})
+							return err
+						})
+					case 1:
+						_, err := tx.Write("ctr", nestedtx.CtrAdd{Delta: 1})
+						return err
+					default:
+						if _, err := tx.Read("reg", nestedtx.RegRead{}); err != nil {
+							return err
+						}
+						_, err := tx.Write("reg", nestedtx.RegWrite{V: int64(j)})
+						return err
+					}
+				})
+				if err != nil && !errors.Is(err, nestedtx.ErrDeadlock) {
+					errc <- fmt.Errorf("worker %d item %d: %w", w, j, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	<-chaosDone
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	pool.Close()
+	px.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := mgr.CheckInvariants(); err != nil {
+		t.Fatalf("lock-table invariants after chaos soak: %v", err)
+	}
+	if err := mgr.Verify(); err != nil {
+		t.Fatalf("chaos soak failed verification: %v", err)
+	}
+	c := srv.Counters()
+	if c.Commits == 0 {
+		t.Fatal("chaos soak committed nothing")
+	}
+	t.Logf("chaos soak: %d sessions, %d requests, %d commits, %d aborts, %d reaped; schedule verified",
+		c.TotalSessions, c.Requests, c.Commits, c.Aborts, c.ReapedSessions)
+}

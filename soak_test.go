@@ -12,6 +12,9 @@ import (
 // TestSoak is a bounded endurance run of the full runtime: many workers,
 // all data types, nested concurrent shapes, voluntary aborts and deadlock
 // retries — with the formal verification and invariant checks at the end.
+// TestNetworkChaosSoak (soak_net_test.go) is its network counterpart,
+// running the same kind of workload through the server and client pool
+// under faultnet's connection-failure schedules.
 func TestSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")
