@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-short chaos fuzz clean
+.PHONY: all build vet test race bench bench-short chaos fuzz metrics-smoke clean
 
 all: build test
 
@@ -42,6 +42,12 @@ chaos: vet
 
 fuzz:
 	$(GO) test -fuzz FuzzTheorem34 -fuzztime 30s ./internal/checker
+
+# End-to-end observability probe against the real binaries: starts a
+# traced txserver, drives load with txmetrics -exercise, and asserts the
+# METRICS histograms reconcile exactly with the STATS counters.
+metrics-smoke:
+	./scripts/metrics_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,42 @@
+package nestedtx
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDurBounds pins the backoff schedule: positive, jittered
+// below the per-attempt ceiling, and saturating — never panicking — for
+// out-of-range attempt counts. Before the clamp moved from the shift
+// count to the delay, backoffDur(-1) panicked with a negative shift.
+func TestBackoffDurBounds(t *testing.T) {
+	const base = 50 * time.Microsecond
+	cases := []struct {
+		attempt int
+		ceil    time.Duration
+	}{
+		{-1, base},
+		{0, base},
+		{1, 2 * base},
+		{2, 4 * base},
+		{5, 32 * base},
+		{6, 64 * base},
+		{7, 64 * base},
+		{31, 64 * base},
+		{32, 64 * base},
+		{63, 64 * base},
+		{64, 64 * base},
+		{1 << 20, 64 * base},
+	}
+	for _, c := range cases {
+		for i := 0; i < 50; i++ {
+			d := backoffDur(c.attempt)
+			if d <= 0 {
+				t.Fatalf("backoffDur(%d) = %v, want positive", c.attempt, d)
+			}
+			if d > c.ceil {
+				t.Fatalf("backoffDur(%d) = %v, want <= %v", c.attempt, d, c.ceil)
+			}
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"nestedtx"
+	"nestedtx/internal/obs"
 	"nestedtx/internal/wire"
 )
 
@@ -71,9 +72,15 @@ type Option func(*Client)
 // d <= 0 means no client-side deadline. The default is 30s.
 func WithTimeout(d time.Duration) Option { return func(c *Client) { c.timeout = d } }
 
+// withRTT shares a round-trip-latency histogram across clients; the
+// Pool uses it so PoolStats aggregates RTTs over every connection it
+// ever dialled.
+func withRTT(h *obs.Histogram) Option { return func(c *Client) { c.rtt = h } }
+
 // Client is one session with a transaction server.
 type Client struct {
 	timeout time.Duration
+	rtt     *obs.Histogram // per-call round-trip latencies
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -88,6 +95,9 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	c := &Client{timeout: 30 * time.Second}
 	for _, opt := range opts {
 		opt(c)
+	}
+	if c.rtt == nil {
+		c.rtt = new(obs.Histogram)
 	}
 	dialTimeout := c.timeout
 	if dialTimeout <= 0 {
@@ -147,6 +157,7 @@ func (c *Client) call(req *wire.Request) (*wire.Response, error) {
 	if c.timeout > 0 {
 		c.conn.SetDeadline(time.Now().Add(c.timeout))
 	}
+	start := time.Now()
 	if err := wire.WriteFrame(c.bw, req); err != nil {
 		return nil, c.poison(fmt.Errorf("send: %w", err))
 	}
@@ -154,6 +165,7 @@ func (c *Client) call(req *wire.Request) (*wire.Response, error) {
 	if err != nil {
 		return nil, c.poison(fmt.Errorf("receive: %w", err))
 	}
+	c.rtt.Observe(time.Since(start))
 	if resp.Code == wire.CodeBusy {
 		// A pre-session refusal frame (it carries no seq); the server
 		// closes the connection after sending it.
@@ -224,6 +236,43 @@ func (c *Client) Stats() (wire.Stats, error) {
 		return wire.Stats{}, fmt.Errorf("%w: OK STATS response without stats payload", ErrMalformed)
 	}
 	return *resp.Stats, nil
+}
+
+// Metrics fetches the server's latency and contention metrics. With
+// dump, the response includes the server's recent event-trace ring
+// (empty unless the server enabled tracing).
+func (c *Client) Metrics(dump bool) (wire.Metrics, error) {
+	resp, err := c.call(&wire.Request{Type: wire.TMetrics, Dump: dump})
+	if err != nil {
+		return wire.Metrics{}, err
+	}
+	if err := respErr(resp); err != nil {
+		return wire.Metrics{}, err
+	}
+	if resp.Metrics == nil {
+		return wire.Metrics{}, fmt.Errorf("%w: OK METRICS response without metrics payload", ErrMalformed)
+	}
+	return *resp.Metrics, nil
+}
+
+// CallStats summarises this client's request round-trip latencies, as
+// measured client-side around every completed call (quantiles are
+// conservative log-bucket upper bounds, clamped to the observed max).
+type CallStats struct {
+	Calls              uint64
+	P50, P90, P99, Max time.Duration
+}
+
+// CallStats reports the client's round-trip latency distribution.
+func (c *Client) CallStats() CallStats {
+	s := c.rtt.Snapshot()
+	return CallStats{
+		Calls: s.Count,
+		P50:   s.Quantile(50),
+		P90:   s.Quantile(90),
+		P99:   s.Quantile(99),
+		Max:   s.Max,
+	}
 }
 
 // Tx is an open remote transaction handle (top-level or sub).
@@ -371,9 +420,20 @@ func (c *Client) RunRetry(attempts int, fn func(*Tx) error) error {
 // the attempt'th deadlock, so competing victims restart out of phase
 // (the same policy as the local runtime's retry helpers).
 func sleepBackoff(attempt int) {
-	if attempt > 6 {
-		attempt = 6
+	time.Sleep(backoffDelay(attempt, 50*time.Microsecond))
+}
+
+// backoffDelay returns a jittered delay in (0, min(base·2^attempt,
+// 64·base)]. The delay — not the shift count — is clamped, so
+// out-of-range attempts (negative, or large enough to overflow the
+// shift) saturate at the cap instead of panicking or going negative.
+func backoffDelay(attempt int, base time.Duration) time.Duration {
+	delay := 64 * base // cap after 6 doublings
+	if attempt < 0 {
+		attempt = 0
 	}
-	max := int64(50<<attempt) * int64(time.Microsecond)
-	time.Sleep(time.Duration(rand.Int63n(max)))
+	if attempt < 7 {
+		delay = base << uint(attempt)
+	}
+	return time.Duration(rand.Int63n(int64(delay)) + 1)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"nestedtx"
+	"nestedtx/internal/obs"
 )
 
 // ErrPoolClosed is returned by Pool operations after Close.
@@ -29,6 +30,7 @@ type Pool struct {
 	opts   []Option
 	tokens chan struct{} // capacity tickets: one per potential connection
 	stop   chan struct{}
+	rtt    *obs.Histogram // round-trip latencies across every connection dialled
 
 	mu     sync.Mutex
 	idle   []*Client
@@ -57,6 +59,7 @@ func NewPool(addr string, size int, opts ...Option) (*Pool, error) {
 		opts:   opts,
 		tokens: make(chan struct{}, size),
 		stop:   make(chan struct{}),
+		rtt:    new(obs.Histogram),
 		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	for i := 0; i < size; i++ {
@@ -77,9 +80,10 @@ func NewPool(addr string, size int, opts ...Option) (*Pool, error) {
 	return p, nil
 }
 
-// dialOne dials and health-checks a single connection.
+// dialOne dials and health-checks a single connection. Every connection
+// shares the pool's RTT histogram.
 func (p *Pool) dialOne() (*Client, error) {
-	c, err := Dial(p.addr, p.opts...)
+	c, err := Dial(p.addr, append(append([]Option(nil), p.opts...), withRTT(p.rtt))...)
 	if err != nil {
 		return nil, err
 	}
@@ -95,6 +99,12 @@ func (p *Pool) dialOne() (*Client, error) {
 // backoff; if the server stays unreachable for the whole backoff
 // schedule, the error wraps [ErrConnLost] so retry loops treat "cannot
 // connect" the same as "connection died".
+//
+// Get never returns a live connection after [Pool.Close] has returned:
+// every hand-out path re-checks the closed flag under the pool lock —
+// the same lock Close latches it under — so a Close racing a Get either
+// beats the hand-out (Get fails with ErrPoolClosed and the connection
+// is closed) or loses it (Put closes the connection on return).
 func (p *Pool) Get() (*Client, error) {
 	select {
 	case <-p.stop:
@@ -104,6 +114,11 @@ func (p *Pool) Get() (*Client, error) {
 	// Prefer a recycled healthy connection.
 	for {
 		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			p.putToken()
+			return nil, ErrPoolClosed
+		}
 		var c *Client
 		if n := len(p.idle); n > 0 {
 			c = p.idle[n-1]
@@ -131,6 +146,14 @@ func (p *Pool) Get() (*Client, error) {
 		c, err := p.dialOne()
 		if err == nil {
 			p.mu.Lock()
+			if p.closed {
+				// Close won the race while we were dialling: a connection
+				// handed out now would never be torn down by Close.
+				p.mu.Unlock()
+				c.Close()
+				p.putToken()
+				return nil, ErrPoolClosed
+			}
 			p.redials++
 			p.mu.Unlock()
 			return c, nil
@@ -178,15 +201,10 @@ func (p *Pool) noteDiscard() {
 }
 
 // backoff sleeps a jittered, exponentially growing interval after the
-// attempt'th failed redial, interruptible by Close.
+// attempt'th failed redial, interruptible by Close. The delay schedule
+// saturates like backoffDelay's: 5ms doubling to a 320ms cap.
 func (p *Pool) backoff(attempt int) {
-	if attempt > 6 {
-		attempt = 6
-	}
-	p.mu.Lock()
-	d := time.Duration(p.rng.Int63n(int64(5*time.Millisecond) << attempt))
-	p.mu.Unlock()
-	t := time.NewTimer(d)
+	t := time.NewTimer(backoffDelay(attempt, 5*time.Millisecond))
 	defer t.Stop()
 	select {
 	case <-t.C:
@@ -213,18 +231,29 @@ func (p *Pool) Close() error {
 	return nil
 }
 
-// PoolStats is a snapshot of a pool's reconnection activity.
+// PoolStats is a snapshot of a pool's reconnection activity and
+// round-trip latency distribution (aggregated across every connection
+// the pool ever dialled; quantiles are conservative log-bucket upper
+// bounds, clamped to the observed max).
 type PoolStats struct {
 	Idle      int    // healthy connections waiting in the pool
 	Redials   uint64 // replacement dials that succeeded (beyond the initial fill)
 	Discarded uint64 // poisoned connections dropped
+
+	Calls              uint64 // completed request round-trips
+	P50, P90, P99, Max time.Duration
 }
 
-// Stats reports the pool's reconnection counters.
+// Stats reports the pool's reconnection counters and RTT quantiles.
 func (p *Pool) Stats() PoolStats {
+	s := p.rtt.Snapshot()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return PoolStats{Idle: len(p.idle), Redials: p.redials, Discarded: p.discarded}
+	return PoolStats{
+		Idle: len(p.idle), Redials: p.redials, Discarded: p.discarded,
+		Calls: s.Count, P50: s.Quantile(50), P90: s.Quantile(90),
+		P99: s.Quantile(99), Max: s.Max,
+	}
 }
 
 // Run borrows a connection and executes fn as one top-level transaction

@@ -1,0 +1,127 @@
+// Command txmetrics is the operator's window into a running txserver:
+// it dials the server, issues the STATS and METRICS verbs, and prints
+// the result either as a human-readable summary or as one JSON object
+// (for scripts — the metrics-smoke CI check parses this output).
+//
+// Usage:
+//
+//	txmetrics [-addr host:port] [-json] [-dump] [-exercise N] [-obj name]
+//
+// -dump asks the server to include its trace ring in the METRICS
+// response (the server must be running with -trace N for the ring to
+// hold anything). In human mode the ring is printed oldest-first, one
+// event per line.
+//
+// -exercise N drives N small committed transactions against -obj (a
+// counter object, "counter" by default — the txserver default universe)
+// before reading the metrics, so a freshly started server has data in
+// every histogram. The metrics-smoke CI check uses this to probe a live
+// server end to end.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"nestedtx"
+	"nestedtx/client"
+	"nestedtx/internal/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("txmetrics: ")
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7654", "txserver address")
+		asJSON   = flag.Bool("json", false, "emit one JSON object {stats, metrics} instead of a summary")
+		dump     = flag.Bool("dump", false, "include the server's trace ring in the METRICS response")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-call I/O timeout")
+		exercise = flag.Int("exercise", 0, "run this many small committed transactions against -obj before reading metrics")
+		obj      = flag.String("obj", "counter", "counter object the -exercise workload increments")
+	)
+	flag.Parse()
+
+	c, err := client.Dial(*addr, client.WithTimeout(*timeout))
+	if err != nil {
+		log.Fatalf("dial %s: %v", *addr, err)
+	}
+	defer c.Close()
+
+	for i := 0; i < *exercise; i++ {
+		err := c.RunRetry(20, func(tx *client.Tx) error {
+			_, err := tx.Write(*obj, nestedtx.CtrAdd{Delta: 1})
+			return err
+		})
+		if err != nil {
+			log.Fatalf("exercise tx %d: %v", i, err)
+		}
+	}
+
+	stats, err := c.Stats()
+	if err != nil {
+		log.Fatalf("STATS: %v", err)
+	}
+	met, err := c.Metrics(*dump)
+	if err != nil {
+		log.Fatalf("METRICS: %v", err)
+	}
+
+	if *asJSON {
+		out := struct {
+			Stats   wire.Stats   `json:"stats"`
+			Metrics wire.Metrics `json:"metrics"`
+		}{stats, met}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("server %s\n", *addr)
+	fmt.Printf("  transactions   begun=%d committed=%d aborted=%d (metrics: commits=%d aborts=%d)\n",
+		stats.TxBegun, stats.Commits, stats.Aborts, met.TxCommits, met.TxAborts)
+	fmt.Printf("  sessions       active=%d total=%d reaped=%d rejected=%d requests=%d\n",
+		stats.ActiveSessions, stats.TotalSessions, stats.ReapedSessions,
+		stats.RejectedConns, stats.Requests)
+	fmt.Printf("  locks          acquires=%d waits=%d deadlocks=%d wakeups=%d\n",
+		stats.Acquires, stats.Waits, stats.Deadlocks, stats.Wakeups)
+	fmt.Printf("  victims        total=%d deadlock=%d cancelled=%d\n",
+		met.Victims, met.VictimsDeadlock, met.VictimsCancelled)
+	fmt.Printf("  gauges         queued-waiters=%d contended-objects=%d\n",
+		met.QueuedWaiters, met.ContendedObjects)
+	printHist("op latency", met.OpLatency)
+	printHist("tx latency", met.TxLatency)
+	printHist("lock wait", met.LockWait)
+
+	if *dump {
+		if len(met.Trace) == 0 {
+			fmt.Println("  trace          empty (server needs -trace N)")
+			return
+		}
+		fmt.Printf("  trace          %d entries (%d evicted before dump)\n",
+			len(met.Trace), met.TraceDropped)
+		for _, e := range met.Trace {
+			at := time.Unix(0, e.AtUnix).Format("15:04:05.000000")
+			fmt.Printf("    #%-8d %s %-14s %s", e.Seq, at, e.Kind, e.T)
+			if e.Object != "" {
+				fmt.Printf(" obj=%s", e.Object)
+			}
+			if e.DurNS != 0 {
+				fmt.Printf(" dur=%s", time.Duration(e.DurNS))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func printHist(name string, h wire.HistQ) {
+	fmt.Printf("  %-14s n=%d p50=%s p90=%s p99=%s max=%s\n", name, h.Count,
+		time.Duration(h.P50NS), time.Duration(h.P90NS),
+		time.Duration(h.P99NS), time.Duration(h.MaxNS))
+}

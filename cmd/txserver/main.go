@@ -6,7 +6,15 @@
 //
 //	txserver [-addr :7654] [-objects spec] [-max-conns N]
 //	         [-idle-timeout D] [-req-timeout D] [-exclusive] [-record]
-//	         [-chaos]
+//	         [-trace N] [-metrics-every D] [-pprof addr] [-chaos]
+//
+// Observability: metrics (latency histograms, outcome counters,
+// contention gauges) are always on and served to clients via the
+// METRICS wire verb. -trace N additionally keeps a ring of the last N
+// lifecycle/lock events, dumpable remotely (METRICS with dump) or by
+// sending the process SIGQUIT, which logs the ring without stopping the
+// server. -metrics-every D logs a one-line metrics summary every D;
+// -pprof addr serves net/http/pprof on a side listener.
 //
 // The -objects flag declares the shared universe as comma-separated
 // name=kind pairs, where kind is one of counter, register, account, set,
@@ -34,6 +42,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -58,6 +68,9 @@ func main() {
 		record      = flag.Bool("record", false, "record the formal schedule and Verify it on drain (Theorem 34 check)")
 		duration    = flag.Duration("duration", 0, "serve this long, then drain (0 = until SIGINT/SIGTERM)")
 		chaos       = flag.Bool("chaos", false, "fault-injection self-test: drive a pooled workload through a faultnet proxy with connection cuts and a partition, then drain (and with -record, verify) and exit")
+		traceCap    = flag.Int("trace", 0, "keep a ring of the last N lifecycle/lock trace events, dumpable via METRICS dump or SIGQUIT (0 = off)")
+		metricsLog  = flag.Duration("metrics-every", 0, "log a one-line metrics summary this often (0 = never)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -67,6 +80,9 @@ func main() {
 	}
 	if *exclusive {
 		opts = append(opts, nestedtx.WithExclusiveLocking())
+	}
+	if *traceCap > 0 {
+		opts = append(opts, nestedtx.WithTracing(*traceCap))
 	}
 	mgr := nestedtx.NewManager(opts...)
 	if err := registerObjects(mgr, *objects); err != nil {
@@ -91,8 +107,36 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(*addr) }()
-	log.Printf("txserver: serving on %s (record=%v exclusive=%v max-conns=%d)",
-		*addr, *record, *exclusive, *maxConns)
+	log.Printf("txserver: serving on %s (record=%v exclusive=%v max-conns=%d trace=%d)",
+		*addr, *record, *exclusive, *maxConns, *traceCap)
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("txserver: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("txserver: pprof: %v", err)
+			}
+		}()
+	}
+	if *metricsLog > 0 {
+		go func() {
+			tick := time.NewTicker(*metricsLog)
+			defer tick.Stop()
+			for range tick.C {
+				logMetrics(mgr)
+			}
+		}()
+	}
+	// SIGQUIT dumps the trace ring (and a metrics line) without stopping
+	// the server — the classic "what is it doing right now" probe.
+	quitSig := make(chan os.Signal, 1)
+	signal.Notify(quitSig, syscall.SIGQUIT)
+	go func() {
+		for range quitSig {
+			logMetrics(mgr)
+			dumpTrace(mgr)
+		}
+	}()
 
 	if *chaos {
 		if err := runChaos(mgr, srv); err != nil {
@@ -131,6 +175,41 @@ func main() {
 			log.Fatalf("txserver: VERIFY FAILED: %v", err)
 		}
 		log.Printf("txserver: schedule verified: well-formed, replays on M(X), serially correct (Theorem 34)")
+	}
+}
+
+// logMetrics prints a one-line latency/outcome summary of the live
+// metric set.
+func logMetrics(mgr *nestedtx.Manager) {
+	s := mgr.Metrics().Snapshot()
+	log.Printf("txserver: metrics: tx p50=%v p99=%v max=%v commits=%d aborts=%d | op p50=%v p99=%v | lock-wait n=%d p99=%v victims=%d(deadlock=%d cancelled=%d) | queued=%d contended=%d",
+		s.TxLatency.Quantile(50), s.TxLatency.Quantile(99), s.TxLatency.Max,
+		s.TxCommits, s.TxAborts,
+		s.OpLatency.Quantile(50), s.OpLatency.Quantile(99),
+		s.LockWait.Count, s.LockWait.Quantile(99),
+		s.Victims(), s.VictimsDeadlock, s.VictimsCancelled,
+		s.QueuedWaiters, s.ContendedObjects)
+}
+
+// dumpTrace logs the retained trace ring oldest-first (no-op without
+// -trace).
+func dumpTrace(mgr *nestedtx.Manager) {
+	tr := mgr.Metrics().Tracer
+	entries := tr.Dump()
+	if len(entries) == 0 {
+		log.Printf("txserver: trace: empty (run with -trace N to enable)")
+		return
+	}
+	log.Printf("txserver: trace: %d retained of %d total", len(entries), tr.Seq())
+	for _, e := range entries {
+		line := fmt.Sprintf("  #%d %s %s %s", e.Seq, e.At.Format("15:04:05.000000"), e.Kind, e.T)
+		if e.Object != "" {
+			line += " obj=" + e.Object
+		}
+		if e.Dur != 0 {
+			line += " dur=" + e.Dur.String()
+		}
+		log.Print(line)
 	}
 }
 

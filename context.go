@@ -27,6 +27,8 @@ func (m *Manager) RunCtx(ctx context.Context, fn func(*Tx) error) error {
 		event.Event{Kind: event.RequestCreate, T: id},
 		event.Event{Kind: event.Create, T: id},
 	)
+	start := time.Now()
+	m.met.Trace(event.Create.String(), string(id), "", 0)
 	tx := &Tx{mgr: m, id: id, cancel: make(chan struct{})}
 
 	// Bridge context cancellation to the transaction's abort cascade.
@@ -46,11 +48,18 @@ func (m *Manager) RunCtx(ctx context.Context, fn func(*Tx) error) error {
 	}
 	if err != nil {
 		m.lm.Abort(id)
+		d := time.Since(start)
+		m.met.ObserveTx(d, false)
+		m.met.Trace(event.Abort.String(), string(id), "", d)
 		return err
 	}
 	v := tx.result()
 	m.rec.Record(event.Event{Kind: event.RequestCommit, T: id, Value: v})
+	m.met.Trace(event.RequestCommit.String(), string(id), "", 0)
 	m.lm.Commit(id, v)
+	d := time.Since(start)
+	m.met.ObserveTx(d, true)
+	m.met.Trace(event.Commit.String(), string(id), "", d)
 	return nil
 }
 

@@ -46,7 +46,7 @@ func objName(i int) string { return fmt.Sprintf("o%d", i) }
 // newBenchMgr returns a manager with n registered register-objects.
 func newBenchMgr(b *testing.B, n int) *Manager {
 	b.Helper()
-	m := New(nil, core.ReadWrite)
+	m := New(nil, core.ReadWrite, nil)
 	for i := 0; i < n; i++ {
 		if err := m.Register(objName(i), adt.NewRegister(int64(0))); err != nil {
 			b.Fatal(err)

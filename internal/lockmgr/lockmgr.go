@@ -24,10 +24,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"nestedtx/internal/adt"
 	"nestedtx/internal/core"
 	"nestedtx/internal/event"
+	"nestedtx/internal/obs"
 	"nestedtx/internal/tree"
 )
 
@@ -59,6 +61,7 @@ type Stats struct {
 type Manager struct {
 	mode core.Mode
 	rec  *event.Recorder
+	met  *obs.Metrics // nil disables observability
 
 	mu      sync.Mutex
 	objects map[string]*lockState
@@ -101,11 +104,13 @@ type waiter struct {
 }
 
 // New returns a Manager recording to rec (nil disables recording) with the
-// given lock classification mode.
-func New(rec *event.Recorder, mode core.Mode) *Manager {
+// given lock classification mode. met, when non-nil, receives lock-wait
+// latencies, victim counts by cause, and queue-depth gauges.
+func New(rec *event.Recorder, mode core.Mode, met *obs.Metrics) *Manager {
 	return &Manager{
 		mode:      mode,
 		rec:       rec,
+		met:       met,
 		objects:   make(map[string]*lockState),
 		held:      make(map[tree.TID]map[*lockState]struct{}),
 		contended:  make(map[*lockState]struct{}),
@@ -213,6 +218,10 @@ func (m *Manager) indexAddLocked(t tree.TID, ls *lockState) {
 func (m *Manager) enqueueLocked(w *waiter) {
 	ls := w.ls
 	ls.queue = append(ls.queue, w)
+	if len(ls.queue) == 1 {
+		m.met.AddContended(1)
+	}
+	m.met.AddQueued(1)
 	m.contended[ls] = struct{}{}
 	if len(m.waiting[w.tx]) == 0 {
 		top := tree.Root.ChildToward(w.tx)
@@ -236,6 +245,10 @@ func (m *Manager) dequeueLocked(w *waiter) {
 	for i, q := range ls.queue {
 		if q == w {
 			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			m.met.AddQueued(-1)
+			if len(ls.queue) == 0 {
+				m.met.AddContended(-1)
+			}
 			break
 		}
 	}
@@ -278,6 +291,10 @@ func (m *Manager) wakeQueuedLocked(ls *lockState) {
 		m.stats.Wakeups++
 		m.unindexWaiterLocked(w)
 	}
+	if n := len(ls.queue); n > 0 {
+		m.met.AddQueued(-int64(n))
+		m.met.AddContended(-1)
+	}
 	ls.queue = nil
 	delete(m.contended, ls)
 }
@@ -296,6 +313,7 @@ func (m *Manager) wakeQueuedLocked(ls *lockState) {
 func (m *Manager) Acquire(tx, access tree.TID, x string, op adt.Op, cancel <-chan struct{}) (adt.Value, error) {
 	write := m.isWrite(op)
 	waited := false
+	var waitStart time.Time // set when the acquisition first blocks
 	m.mu.Lock()
 	for {
 		ls, ok := m.objects[x]
@@ -308,6 +326,9 @@ func (m *Manager) Acquire(tx, access tree.TID, x string, op adt.Op, cancel <-cha
 			m.stats.Acquires++
 			if waited {
 				m.stats.Waits++
+				d := time.Since(waitStart)
+				m.met.ObserveLockWait(d)
+				m.met.Trace(obs.KindLockAcquire, string(tx), x, d)
 			}
 			// A grant can complete a wait-for cycle (a newly compatible
 			// read lock blocks an older write waiter) without any new
@@ -331,6 +352,10 @@ func (m *Manager) Acquire(tx, access tree.TID, x string, op adt.Op, cancel <-cha
 		}
 		// Conflicting lock held by a non-ancestor: wait for the holder's
 		// chain to commit (lock inheritance) or abort (lock release).
+		if !waited {
+			waitStart = time.Now()
+			m.met.Trace(obs.KindLockWait, string(tx), x, 0)
+		}
 		w := &waiter{tx: tx, access: access, ls: ls, write: write, wake: make(chan struct{})}
 		m.enqueueLocked(w)
 		// Every edge this wait adds either sources from tx (lock edges) or
@@ -339,6 +364,7 @@ func (m *Manager) Acquire(tx, access tree.TID, x string, op adt.Op, cancel <-cha
 		m.breakCyclesLocked([]tree.TID{tx})
 		if w.victim {
 			// breakCyclesLocked already dequeued w.
+			m.victimExitLocked(waitStart, true)
 			m.mu.Unlock()
 			return nil, ErrDeadlock
 		}
@@ -348,6 +374,7 @@ func (m *Manager) Acquire(tx, access tree.TID, x string, op adt.Op, cancel <-cha
 		case <-w.wake:
 			m.mu.Lock()
 			if w.victim {
+				m.victimExitLocked(waitStart, true)
 				m.mu.Unlock()
 				return nil, ErrDeadlock
 			}
@@ -358,13 +385,30 @@ func (m *Manager) Acquire(tx, access tree.TID, x string, op adt.Op, cancel <-cha
 				// Deadlock victim chosen concurrently with the cancel: the
 				// victim outcome is already counted in stats.Deadlocks and
 				// must be reported so the caller's retry logic sees it.
+				m.victimExitLocked(waitStart, true)
 				m.mu.Unlock()
 				return nil, ErrDeadlock
 			}
 			m.dequeueLocked(w)
+			m.victimExitLocked(waitStart, false)
 			m.mu.Unlock()
 			return nil, ErrCancelled
 		}
+	}
+}
+
+// victimExitLocked records the metrics of a wait that ended without a
+// grant: the wait duration and the victim cause (deadlock vs external
+// cancellation). Every blocked acquisition therefore lands in the
+// lock-wait histogram exactly once — granted, victimised, or cancelled —
+// so LockWait.Count reconciles with Waits + victims-by-cause. Caller
+// holds m.mu.
+func (m *Manager) victimExitLocked(waitStart time.Time, deadlock bool) {
+	m.met.ObserveLockWait(time.Since(waitStart))
+	if deadlock {
+		m.met.VictimDeadlock()
+	} else {
+		m.met.VictimCancelled()
 	}
 }
 

@@ -14,7 +14,7 @@ import (
 
 func newMgr(t testing.TB) *Manager {
 	t.Helper()
-	m := New(nil, core.ReadWrite)
+	m := New(nil, core.ReadWrite, nil)
 	if err := m.Register("X", adt.NewRegister(int64(0))); err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +297,7 @@ func TestGrantCompletesCycle(t *testing.T) {
 // lexicographic tie-break gets this backwards ("T0.9" > "T0.10" as
 // strings), so this test fails against string comparison.
 func TestVictimTieBreakNumeric(t *testing.T) {
-	m := New(nil, core.ReadWrite)
+	m := New(nil, core.ReadWrite, nil)
 	for _, x := range []string{"X", "Y"} {
 		if err := m.Register(x, adt.NewRegister(int64(0))); err != nil {
 			t.Fatal(err)
@@ -510,7 +510,7 @@ func TestHeldIndexTracksInheritance(t *testing.T) {
 
 func TestRecordingProducesLegalSchedule(t *testing.T) {
 	rec := event.NewRecorder()
-	m := New(rec, core.ReadWrite)
+	m := New(rec, core.ReadWrite, nil)
 	if err := m.Register("X", adt.NewRegister(int64(0))); err != nil {
 		t.Fatal(err)
 	}

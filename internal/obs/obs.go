@@ -1,0 +1,439 @@
+// Package obs is the runtime observability layer: allocation-free atomic
+// counters and gauges, lock-free latency histograms with fixed log-scale
+// buckets, and a bounded ring-buffer event tracer keyed by the formal
+// event vocabulary of internal/event.
+//
+// Where Manager.Verify machine-checks a *recorded* schedule after the
+// fact (Theorem 34 replayed offline), this package makes the same events
+// visible *live*: per-operation and per-transaction latencies, lock-wait
+// durations, deadlock-victim counts by cause, and a dumpable trace of the
+// most recent CREATE/REQUEST_COMMIT/COMMIT/ABORT/lock-acquire/lock-wait
+// events — so a production incident can be read off a running server and
+// correlated against the formal replay.
+//
+// Everything here is stdlib-only and cheap enough to leave on: counters
+// and histograms are single atomic adds, gauges are atomic int64s, and
+// the tracer is a fixed-capacity ring behind one short mutex (and is
+// entirely optional — a nil *Tracer records nothing). All recording
+// entry points are nil-receiver safe, mirroring event.Recorder, so
+// benchmarks and tests can run with observability absent at zero cost.
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ---- counters and gauges ----
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous level (e.g. queue depth): it goes up
+// and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// ---- histograms ----
+
+// NumBuckets is the fixed bucket count of every Histogram. Bucket 0
+// holds non-positive durations; bucket i (1 ≤ i < NumBuckets-1) holds
+// durations in [2^(i-1), 2^i) nanoseconds; the last bucket holds
+// everything from 2^(NumBuckets-2) ns (≈ 4.6 min) up. The log-2 scale
+// gives ~±50% resolution over eleven decades with 40 fixed slots and an
+// index computable with one bit-length instruction.
+const NumBuckets = 40
+
+// Histogram is a lock-free latency histogram: fixed log-scale buckets,
+// running sum, and a high-water mark, all maintained with single atomic
+// operations so concurrent observers never contend on a lock. The zero
+// value is ready to use.
+type Histogram struct {
+	sum     atomic.Int64 // total observed nanoseconds
+	max     atomic.Int64 // largest single observation, ns
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// bucketOf returns the bucket index for a duration of ns nanoseconds.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns)) // 2^(b-1) <= ns < 2^b
+	if b > NumBuckets-1 {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper returns the inclusive upper bound (ns) of bucket i; the
+// overflow bucket reports the largest representable duration.
+func bucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= NumBuckets-1 {
+		return int64(^uint64(0) >> 1)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Observe records one duration. Nil-safe; safe for concurrent use.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+}
+
+// Count returns the number of observations (the sum of all buckets).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Snapshot captures the histogram. Bucket reads are individually atomic;
+// a snapshot taken while observers run may be mid-flight by a few
+// observations, but at quiescence it is exact — which is what the
+// reconciliation tests rely on.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Sum = time.Duration(h.sum.Load())
+	s.Max = time.Duration(h.max.Load())
+	for i := range h.buckets {
+		b := h.buckets[i].Load()
+		s.Buckets[i] = b
+		s.Count += b
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram, with quantile
+// estimation.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     time.Duration
+	Max     time.Duration
+	Buckets [NumBuckets]uint64
+}
+
+// Quantile estimates the p'th percentile (p in [0,100]) as the upper
+// bound of the bucket containing that rank, clamped to the observed
+// maximum — so the estimate is conservative (never below the true value
+// by more than the bucket width) and Quantile(100) == Max. Returns 0
+// when the histogram is empty.
+func (s HistSnapshot) Quantile(p float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := uint64(p / 100 * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, b := range s.Buckets {
+		cum += b
+		if cum >= rank {
+			q := time.Duration(bucketUpper(i))
+			if q > s.Max {
+				q = s.Max
+			}
+			return q
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the arithmetic mean observation, or 0 when empty.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// ---- ring-buffer event tracer ----
+
+// Trace kinds beyond the formal vocabulary: lock acquisition outcomes of
+// the runtime lock manager. All other entries use the exact strings of
+// internal/event's Kind (CREATE, REQUEST_COMMIT, COMMIT, ABORT, ...) so
+// a dumped trace lines up 1:1 with a recorded schedule's notation.
+const (
+	KindLockWait    = "LOCK_WAIT"    // an acquisition blocked (Dur = 0 at entry)
+	KindLockAcquire = "LOCK_ACQUIRE" // a blocked acquisition was granted (Dur = wait time)
+)
+
+// TraceEntry is one ring-buffer record.
+type TraceEntry struct {
+	Seq    uint64        // global sequence number (monotonic, never reused)
+	At     time.Time     // wall-clock time of the event
+	Kind   string        // event.Kind string or KindLock*
+	T      string        // transaction name in the paper's tree notation
+	Object string        // object name for access/lock events, else ""
+	Dur    time.Duration // latency attached to the event (op, tx, or wait time)
+}
+
+// Tracer is a fixed-capacity ring buffer of the most recent trace
+// entries. Writes overwrite the oldest entry once the ring is full, so
+// memory is bounded regardless of run length; Dump returns the surviving
+// window oldest-first. A nil *Tracer records nothing and dumps empty —
+// tracing is opt-in.
+type Tracer struct {
+	mu   sync.Mutex
+	seq  uint64
+	buf  []TraceEntry
+	next int
+	full bool
+}
+
+// NewTracer returns a Tracer keeping the last capacity entries
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{buf: make([]TraceEntry, capacity)}
+}
+
+// Trace appends one entry, evicting the oldest when full. Nil-safe.
+func (tr *Tracer) Trace(kind, t, object string, dur time.Duration) {
+	if tr == nil {
+		return
+	}
+	now := time.Now()
+	tr.mu.Lock()
+	tr.seq++
+	tr.buf[tr.next] = TraceEntry{Seq: tr.seq, At: now, Kind: kind, T: t, Object: object, Dur: dur}
+	tr.next++
+	if tr.next == len(tr.buf) {
+		tr.next, tr.full = 0, true
+	}
+	tr.mu.Unlock()
+}
+
+// Dump returns a copy of the retained entries, oldest first. Nil tracers
+// dump nil.
+func (tr *Tracer) Dump() []TraceEntry {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if !tr.full {
+		return append([]TraceEntry(nil), tr.buf[:tr.next]...)
+	}
+	out := make([]TraceEntry, 0, len(tr.buf))
+	out = append(out, tr.buf[tr.next:]...)
+	return append(out, tr.buf[:tr.next]...)
+}
+
+// Len returns the number of retained entries; Seq the total ever traced.
+func (tr *Tracer) Len() int {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.full {
+		return len(tr.buf)
+	}
+	return tr.next
+}
+
+// Seq returns the total number of entries ever traced (including
+// evicted ones).
+func (tr *Tracer) Seq() uint64 {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.seq
+}
+
+// ---- the aggregate metric set ----
+
+// Metrics is the metric set threaded through the nestedtx stack: the
+// runtime (Manager/Tx) records operation and transaction latencies and
+// outcomes, the lock manager records waiting and victim selection, and
+// the server snapshots everything for the METRICS wire verb. All
+// recording methods are nil-receiver safe.
+type Metrics struct {
+	// OpLatency is the latency of each successful access (Tx.Do):
+	// lock acquisition (including any wait) plus operation application.
+	OpLatency Histogram
+	// TxLatency is the end-to-end latency of each finished top-level
+	// transaction, commit or abort.
+	TxLatency Histogram
+	// LockWait is the duration of each blocked lock acquisition, from
+	// first block to grant, victimhood or cancellation. Acquisitions
+	// granted without waiting are not observed, so
+	//   LockWait.Count == Stats.Waits + VictimsDeadlock + VictimsCancelled
+	// at quiescence.
+	LockWait Histogram
+
+	TxCommits Counter // finished top-level transactions that committed
+	TxAborts  Counter // finished top-level transactions that aborted
+
+	// Victim counts by cause: a waiter that left its wait queue without
+	// being granted, split by why. Their sum is the total victim count.
+	VictimsDeadlock  Counter // chosen as deadlock victim (== Stats.Deadlocks)
+	VictimsCancelled Counter // cancelled while blocked (enclosing abort)
+
+	QueuedWaiters    Gauge // currently blocked lock acquisitions
+	ContendedObjects Gauge // objects with a non-empty wait queue
+
+	// Tracer, when non-nil, receives one entry per transaction
+	// lifecycle event and lock wait/acquire.
+	Tracer *Tracer
+}
+
+// Trace records one tracer entry if tracing is enabled. Nil-safe.
+func (m *Metrics) Trace(kind, t, object string, dur time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Tracer.Trace(kind, t, object, dur)
+}
+
+// ObserveOp records one successful access latency.
+func (m *Metrics) ObserveOp(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.OpLatency.Observe(d)
+}
+
+// ObserveTx records one finished top-level transaction.
+func (m *Metrics) ObserveTx(d time.Duration, committed bool) {
+	if m == nil {
+		return
+	}
+	m.TxLatency.Observe(d)
+	if committed {
+		m.TxCommits.Inc()
+	} else {
+		m.TxAborts.Inc()
+	}
+}
+
+// ObserveLockWait records one finished blocked acquisition.
+func (m *Metrics) ObserveLockWait(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.LockWait.Observe(d)
+}
+
+// VictimDeadlock counts one waiter evicted as a deadlock victim.
+func (m *Metrics) VictimDeadlock() {
+	if m == nil {
+		return
+	}
+	m.VictimsDeadlock.Inc()
+}
+
+// VictimCancelled counts one waiter evicted by cancellation.
+func (m *Metrics) VictimCancelled() {
+	if m == nil {
+		return
+	}
+	m.VictimsCancelled.Inc()
+}
+
+// AddQueued moves the queued-waiters gauge.
+func (m *Metrics) AddQueued(delta int64) {
+	if m == nil {
+		return
+	}
+	m.QueuedWaiters.Add(delta)
+}
+
+// AddContended moves the contended-objects gauge.
+func (m *Metrics) AddContended(delta int64) {
+	if m == nil {
+		return
+	}
+	m.ContendedObjects.Add(delta)
+}
+
+// Snapshot is a point-in-time copy of a Metrics set (histograms as
+// HistSnapshots, counters and gauges as plain numbers). The trace ring
+// is not included — dump it separately via Tracer.Dump.
+type Snapshot struct {
+	OpLatency HistSnapshot
+	TxLatency HistSnapshot
+	LockWait  HistSnapshot
+
+	TxCommits uint64
+	TxAborts  uint64
+
+	VictimsDeadlock  uint64
+	VictimsCancelled uint64
+
+	QueuedWaiters    int64
+	ContendedObjects int64
+}
+
+// Victims returns the total victim count across causes.
+func (s Snapshot) Victims() uint64 { return s.VictimsDeadlock + s.VictimsCancelled }
+
+// Snapshot captures the metric set. Nil-safe (returns zeros).
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		OpLatency:        m.OpLatency.Snapshot(),
+		TxLatency:        m.TxLatency.Snapshot(),
+		LockWait:         m.LockWait.Snapshot(),
+		TxCommits:        m.TxCommits.Load(),
+		TxAborts:         m.TxAborts.Load(),
+		VictimsDeadlock:  m.VictimsDeadlock.Load(),
+		VictimsCancelled: m.VictimsCancelled.Load(),
+		QueuedWaiters:    m.QueuedWaiters.Load(),
+		ContendedObjects: m.ContendedObjects.Load(),
+	}
+}

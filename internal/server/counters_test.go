@@ -1,0 +1,80 @@
+package server
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCountersSnapshotConsistency pins the Counters consistency
+// contract: snapshots are taken under the same lock as updates, so the
+// cross-field invariant Commits + Aborts <= TxBegun holds in every
+// snapshot and successive snapshots are monotone per field. An
+// implementation that reads the fields one-by-one from independent
+// atomics (as the server once did) lets a reader observe a
+// transaction's outcome before its beginning; with the hammer below,
+// such torn snapshots surface with high probability in every round, so
+// across the rounds a torn implementation virtually always fails.
+func TestCountersSnapshotConsistency(t *testing.T) {
+	const rounds, writers, perWriter, readers = 6, 8, 20000, 4
+	for round := 0; round < rounds; round++ {
+		s := New(nil, Config{})
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWriter; i++ {
+					// Begin strictly before outcome, as handleBegin does.
+					s.count(func(c *Counters) { c.TxBegun++ })
+					if i%3 == 0 {
+						s.count(func(c *Counters) { c.Aborts++ })
+					} else {
+						s.count(func(c *Counters) { c.Commits++ })
+					}
+				}
+			}(w)
+		}
+
+		var rwg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			rwg.Add(1)
+			go func() {
+				defer rwg.Done()
+				var prev Counters
+				for {
+					c := s.Counters()
+					if c.Commits+c.Aborts > c.TxBegun {
+						t.Errorf("torn snapshot: commits %d + aborts %d > begun %d",
+							c.Commits, c.Aborts, c.TxBegun)
+						return
+					}
+					if c.TxBegun < prev.TxBegun || c.Commits < prev.Commits || c.Aborts < prev.Aborts {
+						t.Errorf("non-monotone snapshots: %+v then %+v", prev, c)
+						return
+					}
+					prev = c
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+			}()
+		}
+
+		wg.Wait()
+		close(stop)
+		rwg.Wait()
+		if t.Failed() {
+			return
+		}
+
+		c := s.Counters()
+		if want := uint64(writers * perWriter); c.TxBegun != want || c.Commits+c.Aborts != want {
+			t.Fatalf("final counts: begun %d, commits+aborts %d, want %d",
+				c.TxBegun, c.Commits+c.Aborts, want)
+		}
+	}
+}

@@ -320,11 +320,76 @@ func TestFaultInjectionWorkload(t *testing.T) {
 	if ps := pool.Stats(); ps.Redials == 0 {
 		t.Logf("note: pool stats %+v (chaos may have missed live conns)", ps)
 	}
+	// The pool measured its calls: every completed transaction is at
+	// least three round-trips, with sane quantiles.
+	if ps := pool.Stats(); ps.Calls < uint64(3*workers*perWorker) ||
+		ps.P50 <= 0 || ps.P50 > ps.P90 || ps.P90 > ps.P99 || ps.P99 > ps.Max {
+		t.Errorf("pool RTT stats implausible: %+v", ps)
+	}
+
+	// METRICS over the wire while sessions may still be unwinding from
+	// the last cuts: structural sanity only — the exact reconciliation
+	// below waits for true quiescence.
+	mc := dial(t, addr)
+	wm, err := mc.Metrics(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm.TxLatency.Count == 0 || wm.OpLatency.Count == 0 {
+		t.Errorf("live METRICS empty after workload: %+v", wm)
+	}
+	if wm.TxLatency.P50NS > wm.TxLatency.P90NS || wm.TxLatency.P90NS > wm.TxLatency.P99NS ||
+		wm.TxLatency.P99NS > wm.TxLatency.MaxNS {
+		t.Errorf("live METRICS quantiles not monotone: %+v", wm.TxLatency)
+	}
+	mc.Close()
 
 	// Drain, reclaim, verify: Theorem 34 under network faults.
 	pool.Close()
 	px.Close()
 	checkQuiescent(t, srv)
+
+	// Exact metric reconciliation at quiescence: chaos (cuts, timeouts,
+	// partitions, reaping) must not lose or double-count an observation.
+	met := srv.Manager().Metrics().Snapshot()
+	lk := srv.Manager().Stats()
+	cnt := srv.Counters()
+	// Every blocked acquisition landed in the lock-wait histogram exactly
+	// once: granted (Waits), deadlock victim, or cancelled by an abort.
+	if met.LockWait.Count != lk.Waits+met.VictimsDeadlock+met.VictimsCancelled {
+		t.Errorf("lock_wait count %d != waits %d + victims %d+%d",
+			met.LockWait.Count, lk.Waits, met.VictimsDeadlock, met.VictimsCancelled)
+	}
+	// The victim breakdown sums to the total and the deadlock slice
+	// matches the lock manager's cycle count.
+	if met.VictimsDeadlock != lk.Deadlocks {
+		t.Errorf("victims_deadlock %d != lock deadlocks %d", met.VictimsDeadlock, lk.Deadlocks)
+	}
+	if met.Victims() != met.VictimsDeadlock+met.VictimsCancelled {
+		t.Errorf("victim sum broken: %d != %d + %d",
+			met.Victims(), met.VictimsDeadlock, met.VictimsCancelled)
+	}
+	// Every access acquisition was timed exactly once, whatever its fate.
+	if met.OpLatency.Count != lk.Acquires+met.VictimsDeadlock+met.VictimsCancelled {
+		t.Errorf("op_latency count %d != acquires %d + victims %d+%d",
+			met.OpLatency.Count, lk.Acquires, met.VictimsDeadlock, met.VictimsCancelled)
+	}
+	// Commit accounting is exact; aborts may exceed the runtime's count
+	// by begins that were cancelled before the transaction body started
+	// (session teardown racing BEGIN).
+	if met.TxCommits != cnt.Commits {
+		t.Errorf("tx_commits %d != server commits %d", met.TxCommits, cnt.Commits)
+	}
+	if met.TxAborts > cnt.Aborts {
+		t.Errorf("tx_aborts %d > server aborts %d", met.TxAborts, cnt.Aborts)
+	}
+	if met.TxLatency.Count != met.TxCommits+met.TxAborts {
+		t.Errorf("tx_latency count %d != commits %d + aborts %d",
+			met.TxLatency.Count, met.TxCommits, met.TxAborts)
+	}
+	if met.QueuedWaiters != 0 || met.ContendedObjects != 0 {
+		t.Errorf("gauges nonzero at quiescence: %+v", met)
+	}
 
 	// No goroutine leaks: sessions, proxies, pool and chaos all gone.
 	deadline := time.Now().Add(5 * time.Second)

@@ -1,0 +1,160 @@
+package server_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nestedtx"
+	"nestedtx/client"
+	"nestedtx/internal/server"
+)
+
+// TestMetricsEndToEnd drives a contended workload over the wire and
+// then reconciles the METRICS payload against the STATS counters at
+// quiescence. The invariants are exact, not bounds: every observation
+// lands in exactly one histogram bucket, so the histogram counts must
+// agree with the independent counters to the unit.
+func TestMetricsEndToEnd(t *testing.T) {
+	mgr := nestedtx.NewManager(nestedtx.WithTracing(1 << 15))
+	mgr.MustRegister("a", nestedtx.Counter{})
+	mgr.MustRegister("b", nestedtx.Counter{})
+	_, addr := start(t, mgr, server.Config{})
+
+	const workers, txPer = 6, 25
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(addr, client.WithTimeout(20*time.Second))
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < txPer; j++ {
+				// Opposite lock orders between odd and even workers force
+				// waits and deadlock victims, so every histogram gets data.
+				first, second := "a", "b"
+				if w%2 == 1 {
+					first, second = "b", "a"
+				}
+				err := c.RunRetry(50, func(tx *client.Tx) error {
+					if _, err := tx.Write(first, nestedtx.CtrAdd{Delta: 1}); err != nil {
+						return err
+					}
+					_, err := tx.Write(second, nestedtx.CtrAdd{Delta: 1})
+					return err
+				})
+				if err != nil {
+					errc <- fmt.Errorf("worker %d tx %d: %w", w, j, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	c := dial(t, addr)
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Metrics(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Outcome counters line up 1:1 with the server's (every BEGIN runs
+	// exactly one top-level transaction; none were cancelled mid-begin).
+	if m.TxCommits != stats.Commits || m.TxAborts != stats.Aborts {
+		t.Errorf("outcome mismatch: metrics %d/%d, stats %d/%d",
+			m.TxCommits, m.TxAborts, stats.Commits, stats.Aborts)
+	}
+	if want := uint64(workers * txPer); m.TxCommits != want {
+		t.Errorf("tx_commits = %d, want %d", m.TxCommits, want)
+	}
+	// Every finished top-level transaction was timed exactly once.
+	if m.TxLatency.Count != stats.Commits+stats.Aborts {
+		t.Errorf("tx_latency count %d != commits %d + aborts %d",
+			m.TxLatency.Count, stats.Commits, stats.Aborts)
+	}
+	// Every blocked acquisition landed in the lock-wait histogram exactly
+	// once: granted (Waits), deadlock victim, or cancelled.
+	if m.LockWait.Count != stats.Waits+m.VictimsDeadlock+m.VictimsCancelled {
+		t.Errorf("lock_wait count %d != waits %d + victims %d+%d",
+			m.LockWait.Count, stats.Waits, m.VictimsDeadlock, m.VictimsCancelled)
+	}
+	// The victim breakdown reconciles with the lock manager's own count.
+	if m.VictimsDeadlock != stats.Deadlocks {
+		t.Errorf("victims_deadlock %d != lock_deadlocks %d", m.VictimsDeadlock, stats.Deadlocks)
+	}
+	if m.Victims != m.VictimsDeadlock+m.VictimsCancelled {
+		t.Errorf("victims %d != %d + %d", m.Victims, m.VictimsDeadlock, m.VictimsCancelled)
+	}
+	// Every access acquisition was timed exactly once, whatever its fate.
+	if m.OpLatency.Count != stats.Acquires+m.VictimsDeadlock+m.VictimsCancelled {
+		t.Errorf("op_latency count %d != acquires %d + victims %d+%d",
+			m.OpLatency.Count, stats.Acquires, m.VictimsDeadlock, m.VictimsCancelled)
+	}
+	// The opposite-order workload must actually have contended.
+	if stats.Waits == 0 || m.VictimsDeadlock == 0 {
+		t.Errorf("workload did not contend: waits %d, deadlock victims %d",
+			stats.Waits, m.VictimsDeadlock)
+	}
+	// Quantiles are monotone and clamped to the max.
+	for name, q := range map[string]struct{ P50, P90, P99, Max int64 }{
+		"op_latency": {m.OpLatency.P50NS, m.OpLatency.P90NS, m.OpLatency.P99NS, m.OpLatency.MaxNS},
+		"tx_latency": {m.TxLatency.P50NS, m.TxLatency.P90NS, m.TxLatency.P99NS, m.TxLatency.MaxNS},
+		"lock_wait":  {m.LockWait.P50NS, m.LockWait.P90NS, m.LockWait.P99NS, m.LockWait.MaxNS},
+	} {
+		if q.P50 <= 0 || q.P50 > q.P90 || q.P90 > q.P99 || q.P99 > q.Max {
+			t.Errorf("%s quantiles not monotone positive: %+v", name, q)
+		}
+	}
+	// Quiescent gauges read level, not rate: nothing is blocked now.
+	if m.QueuedWaiters != 0 || m.ContendedObjects != 0 {
+		t.Errorf("gauges nonzero at quiescence: queued %d, contended %d",
+			m.QueuedWaiters, m.ContendedObjects)
+	}
+
+	// The dump carries the trace ring; with a ring larger than the run,
+	// nothing was evicted and the COMMIT entries for top-level
+	// transactions count exactly the commits.
+	md, err := c.Metrics(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(md.Trace) == 0 {
+		t.Fatal("dump returned no trace entries")
+	}
+	if md.TraceDropped != 0 {
+		t.Fatalf("ring evicted %d entries; enlarge the test's WithTracing capacity", md.TraceDropped)
+	}
+	topCommits := uint64(0)
+	for i, e := range md.Trace {
+		if i > 0 && e.Seq != md.Trace[i-1].Seq+1 {
+			t.Fatalf("trace not in sequence order at %d", i)
+		}
+		switch e.Kind {
+		case "CREATE", "REQUEST_COMMIT", "COMMIT", "ABORT", "LOCK_WAIT", "LOCK_ACQUIRE":
+		default:
+			t.Fatalf("unexpected trace kind %q", e.Kind)
+		}
+		if e.Kind == "COMMIT" && strings.Count(e.T, ".") == 1 {
+			topCommits++ // top-level names are "T0.n"
+		}
+	}
+	if topCommits != md.TxCommits {
+		t.Errorf("trace has %d top-level COMMIT entries, metrics report %d commits",
+			topCommits, md.TxCommits)
+	}
+}

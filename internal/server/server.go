@@ -28,6 +28,7 @@ import (
 
 	"nestedtx"
 	"nestedtx/internal/adt"
+	"nestedtx/internal/obs"
 	"nestedtx/internal/wire"
 )
 
@@ -53,14 +54,22 @@ type Config struct {
 
 const defaultRequestTimeout = 10 * time.Second
 
-// Counters are the server's own atomic counters, exposed (with the lock
+// Counters are the server's own counters, exposed (with the lock
 // manager's) via STATS.
+//
+// A [Server.Counters] snapshot is mutually consistent: all fields are
+// updated and copied under one lock, never read field-by-field from
+// independent atomics. Cross-field invariants therefore hold in every
+// snapshot — in particular Commits + Aborts <= TxBegun (a transaction's
+// outcome is never visible before its beginning) and snapshots taken in
+// sequence are monotone per field.
 type Counters struct {
 	ActiveSessions  int64
 	TotalSessions   uint64
 	ReapedSessions  uint64
 	RejectedConns   uint64
 	Requests        uint64
+	TxBegun         uint64
 	Commits         uint64
 	Aborts          uint64
 	DeadlockVictims uint64
@@ -71,14 +80,8 @@ type Server struct {
 	mgr *nestedtx.Manager
 	cfg Config
 
-	active   atomic.Int64
-	total    atomic.Uint64
-	reaped   atomic.Uint64
-	rejected atomic.Uint64
-	requests atomic.Uint64
-	commits  atomic.Uint64
-	aborts   atomic.Uint64
-	victims  atomic.Uint64
+	cmu sync.Mutex // guards cnt; see Counters' consistency contract
+	cnt Counters
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -105,18 +108,20 @@ func New(mgr *nestedtx.Manager, cfg Config) *Server {
 // Manager returns the served manager (for post-drain Verify / State).
 func (s *Server) Manager() *nestedtx.Manager { return s.mgr }
 
-// Counters returns a snapshot of the server counters.
+// Counters returns a consistent snapshot of the server counters (see
+// the type's consistency contract).
 func (s *Server) Counters() Counters {
-	return Counters{
-		ActiveSessions:  s.active.Load(),
-		TotalSessions:   s.total.Load(),
-		ReapedSessions:  s.reaped.Load(),
-		RejectedConns:   s.rejected.Load(),
-		Requests:        s.requests.Load(),
-		Commits:         s.commits.Load(),
-		Aborts:          s.aborts.Load(),
-		DeadlockVictims: s.victims.Load(),
-	}
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	return s.cnt
+}
+
+// count applies one counter mutation under the counter lock. Every
+// update goes through here, so snapshots never observe a torn state.
+func (s *Server) count(f func(*Counters)) {
+	s.cmu.Lock()
+	f(&s.cnt)
+	s.cmu.Unlock()
 }
 
 // Addr returns the listener address (nil before Serve).
@@ -160,8 +165,8 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		if s.cfg.MaxConns > 0 && s.active.Load() >= int64(s.cfg.MaxConns) {
-			s.rejected.Add(1)
+		if s.cfg.MaxConns > 0 && s.Counters().ActiveSessions >= int64(s.cfg.MaxConns) {
+			s.count(func(c *Counters) { c.RejectedConns++ })
 			go refuse(conn)
 			continue
 		}
@@ -248,7 +253,7 @@ func (s *Server) reapLoop() {
 		}
 		s.mu.Unlock()
 		for _, ss := range stale {
-			s.reaped.Add(1)
+			s.count(func(c *Counters) { c.ReapedSessions++ })
 			ss.close()
 		}
 	}
@@ -284,8 +289,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	s.sessions[ss] = struct{}{}
 	s.mu.Unlock()
-	s.active.Add(1)
-	s.total.Add(1)
+	s.count(func(c *Counters) { c.ActiveSessions++; c.TotalSessions++ })
 	defer func() {
 		// Abort whatever the client left open, wait for the transaction
 		// goroutines to finish (so Shutdown → Verify sees quiescence),
@@ -296,7 +300,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Lock()
 		delete(s.sessions, ss)
 		s.mu.Unlock()
-		s.active.Add(-1)
+		s.count(func(c *Counters) { c.ActiveSessions-- })
 	}()
 
 	br := newBufReader(conn)
@@ -308,7 +312,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		ss.inFlight.Store(true)
 		ss.lastActive.Store(time.Now().UnixNano())
-		s.requests.Add(1)
+		s.count(func(c *Counters) { c.Requests++ })
 		resp := ss.handle(req)
 		resp.Seq = req.Seq
 		werr := wire.WriteFrame(bw, resp)
@@ -440,6 +444,8 @@ func (ss *session) handle(req *wire.Request) *wire.Response {
 		return &wire.Response{OK: true}
 	case wire.TStats:
 		return ss.handleStats()
+	case wire.TMetrics:
+		return ss.handleMetrics(req.Dump)
 	case wire.TState:
 		return ss.handleState(req)
 	case wire.TBegin:
@@ -470,6 +476,7 @@ func (ss *session) handleStats() *wire.Response {
 		ReapedSessions:  c.ReapedSessions,
 		RejectedConns:   c.RejectedConns,
 		Requests:        c.Requests,
+		TxBegun:         c.TxBegun,
 		Commits:         c.Commits,
 		Aborts:          c.Aborts,
 		DeadlockVictims: c.DeadlockVictims,
@@ -482,6 +489,60 @@ func (ss *session) handleStats() *wire.Response {
 		SpuriousWakeups: lk.SpuriousWakeups,
 		MaxQueueDepth:   lk.MaxQueueDepth,
 	}}
+}
+
+// maxTraceEntries caps a METRICS dump so the response frame stays under
+// wire.MaxFrameSize even with long transaction names (~200 bytes per
+// encoded entry against the 1 MiB frame limit).
+const maxTraceEntries = 4096
+
+func histQ(s obs.HistSnapshot) wire.HistQ {
+	return wire.HistQ{
+		Count: s.Count,
+		SumNS: int64(s.Sum),
+		P50NS: int64(s.Quantile(50)),
+		P90NS: int64(s.Quantile(90)),
+		P99NS: int64(s.Quantile(99)),
+		MaxNS: int64(s.Max),
+	}
+}
+
+func (ss *session) handleMetrics(dump bool) *wire.Response {
+	met := ss.srv.mgr.Metrics()
+	s := met.Snapshot()
+	m := &wire.Metrics{
+		OpLatency:        histQ(s.OpLatency),
+		TxLatency:        histQ(s.TxLatency),
+		LockWait:         histQ(s.LockWait),
+		TxCommits:        s.TxCommits,
+		TxAborts:         s.TxAborts,
+		VictimsDeadlock:  s.VictimsDeadlock,
+		VictimsCancelled: s.VictimsCancelled,
+		Victims:          s.Victims(),
+		QueuedWaiters:    s.QueuedWaiters,
+		ContendedObjects: s.ContendedObjects,
+	}
+	if dump && met.Tracer != nil {
+		entries := met.Tracer.Dump()
+		if len(entries) > maxTraceEntries {
+			entries = entries[len(entries)-maxTraceEntries:]
+		}
+		m.Trace = make([]wire.TraceEntry, len(entries))
+		for i, e := range entries {
+			m.Trace[i] = wire.TraceEntry{
+				Seq:    e.Seq,
+				AtUnix: e.At.UnixNano(),
+				Kind:   e.Kind,
+				T:      e.T,
+				Object: e.Object,
+				DurNS:  int64(e.Dur),
+			}
+		}
+		if total, kept := met.Tracer.Seq(), uint64(len(entries)); total > kept {
+			m.TraceDropped = total - kept
+		}
+	}
+	return &wire.Response{OK: true, Metrics: m}
 }
 
 func (ss *session) handleState(req *wire.Request) *wire.Response {
@@ -509,11 +570,12 @@ func (ss *session) handleBegin() *wire.Response {
 		// RunRetryCtx still gives per-request deadlines and session
 		// teardown a cancellation point (including between any future
 		// backoff attempts).
+		ss.srv.count(func(c *Counters) { c.TxBegun++ })
 		err := ss.srv.mgr.RunRetryCtx(h.treeCtx, 1, ss.body(h))
 		if err == nil {
-			ss.srv.commits.Add(1)
+			ss.srv.count(func(c *Counters) { c.Commits++ })
 		} else {
-			ss.srv.aborts.Add(1)
+			ss.srv.count(func(c *Counters) { c.Aborts++ })
 		}
 		h.res <- err
 		close(h.done)
@@ -709,7 +771,7 @@ func (ss *session) deliver(h *txHandle, cmd txCmd) *wire.Response {
 func (ss *session) mapOpErr(obj string, err error) *wire.Response {
 	switch {
 	case errors.Is(err, nestedtx.ErrDeadlock):
-		ss.srv.victims.Add(1)
+		ss.srv.count(func(c *Counters) { c.DeadlockVictims++ })
 		return fail(wire.CodeDeadlock, err.Error())
 	case errors.Is(err, nestedtx.ErrAborted):
 		return fail(wire.CodeAborted, err.Error())

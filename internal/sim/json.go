@@ -15,7 +15,10 @@ type resultJSON struct {
 	TxPerSec  float64 `json:"tx_s"`
 	OpsPerSec float64 `json:"ops_s"`
 	P50Micros int64   `json:"p50_us"`
+	P90Micros int64   `json:"p90_us"`
 	P95Micros int64   `json:"p95_us"`
+	P99Micros int64   `json:"p99_us"`
+	MaxMicros int64   `json:"max_us"`
 	Committed int     `json:"committed"`
 	Aborted   int     `json:"aborted"`
 	Retried   int     `json:"retried"`
@@ -30,7 +33,10 @@ func toResultJSON(r Result) resultJSON {
 		TxPerSec:  r.Throughput(),
 		OpsPerSec: r.OpsPerSec(),
 		P50Micros: r.Percentile(50).Microseconds(),
+		P90Micros: r.Percentile(90).Microseconds(),
 		P95Micros: r.Percentile(95).Microseconds(),
+		P99Micros: r.Percentile(99).Microseconds(),
+		MaxMicros: r.Percentile(100).Microseconds(),
 		Committed: r.Committed,
 		Aborted:   r.Aborted,
 		Retried:   r.Retried,

@@ -43,9 +43,10 @@ const (
 	TWrite  = "WRITE"  // Tx, Obj, Op: mutating access
 	TCommit = "COMMIT" // Tx: commit the handle
 	TAbort  = "ABORT"  // Tx: abort the handle
-	TState  = "STATE"  // Obj: committed-to-root state snapshot
-	TStats  = "STATS"  // server + lock-manager counters
-	TPing   = "PING"   // liveness / round-trip probe
+	TState   = "STATE"   // Obj: committed-to-root state snapshot
+	TStats   = "STATS"   // server + lock-manager counters
+	TMetrics = "METRICS" // latency quantiles, victim breakdown, gauges; Dump adds the trace ring
+	TPing    = "PING"    // liveness / round-trip probe
 )
 
 // Response error codes (Response.Code when OK is false).
@@ -64,9 +65,10 @@ const (
 type Request struct {
 	Seq  uint64          `json:"seq"`
 	Type string          `json:"type"`
-	Tx   uint64          `json:"tx,omitempty"`  // transaction handle (SUB/READ/WRITE/COMMIT/ABORT)
-	Obj  string          `json:"obj,omitempty"` // object name (READ/WRITE/STATE)
-	Op   json.RawMessage `json:"op,omitempty"`  // adt-encoded operation (READ/WRITE)
+	Tx   uint64          `json:"tx,omitempty"`   // transaction handle (SUB/READ/WRITE/COMMIT/ABORT)
+	Obj  string          `json:"obj,omitempty"`  // object name (READ/WRITE/STATE)
+	Op   json.RawMessage `json:"op,omitempty"`   // adt-encoded operation (READ/WRITE)
+	Dump bool            `json:"dump,omitempty"` // METRICS: include the event trace ring
 }
 
 // Response is one server→client frame.
@@ -78,18 +80,29 @@ type Response struct {
 	Tx    uint64          `json:"tx,omitempty"`    // new handle (BEGIN/SUB)
 	TxID  string          `json:"txid,omitempty"`  // paper-tree name, e.g. "T0.3.1" (BEGIN/SUB)
 	Value json.RawMessage `json:"value,omitempty"` // adt-encoded access result (READ/WRITE)
-	State json.RawMessage `json:"state,omitempty"` // adt-encoded object state (STATE)
-	Stats *Stats          `json:"stats,omitempty"` // STATS
+	State   json.RawMessage `json:"state,omitempty"`   // adt-encoded object state (STATE)
+	Stats   *Stats          `json:"stats,omitempty"`   // STATS
+	Metrics *Metrics        `json:"metrics,omitempty"` // METRICS
 }
 
 // Stats is the STATS payload: the server's own counters plus the
 // underlying lock manager's.
+//
+// Consistency contract: the server-side fields (sessions through
+// deadlock_victims) form one atomic snapshot — they are captured under a
+// single lock, so cross-counter invariants hold within a frame: every
+// finished transaction was begun (commits + aborts <= tx_begun) and
+// every begun transaction was requested (tx_begun <= requests). The
+// lock-manager block is a separate snapshot taken immediately after and
+// is internally consistent but may run slightly ahead of the server
+// block.
 type Stats struct {
 	ActiveSessions  int64  `json:"active_sessions"`
 	TotalSessions   uint64 `json:"total_sessions"`
 	ReapedSessions  uint64 `json:"reaped_sessions"`
 	RejectedConns   uint64 `json:"rejected_conns"`
 	Requests        uint64 `json:"requests"`
+	TxBegun         uint64 `json:"tx_begun"`
 	Commits         uint64 `json:"commits"`
 	Aborts          uint64 `json:"aborts"`
 	DeadlockVictims uint64 `json:"deadlock_victims"`
@@ -103,6 +116,50 @@ type Stats struct {
 	Wakeups         uint64 `json:"lock_wakeups"`
 	SpuriousWakeups uint64 `json:"lock_spurious_wakeups"`
 	MaxQueueDepth   uint64 `json:"lock_max_queue_depth"`
+}
+
+// HistQ is one latency histogram summarised for the wire: totals plus
+// quantile estimates. Quantiles are conservative upper bounds from the
+// histogram's log-scale buckets, clamped to the observed maximum.
+type HistQ struct {
+	Count uint64 `json:"count"`
+	SumNS int64  `json:"sum_ns"`
+	P50NS int64  `json:"p50_ns"`
+	P90NS int64  `json:"p90_ns"`
+	P99NS int64  `json:"p99_ns"`
+	MaxNS int64  `json:"max_ns"`
+}
+
+// TraceEntry is one ring-buffer trace event (METRICS with Dump).
+type TraceEntry struct {
+	Seq    uint64 `json:"seq"`
+	AtUnix int64  `json:"at_unix_ns"`
+	Kind   string `json:"kind"`
+	T      string `json:"t"`
+	Object string `json:"obj,omitempty"`
+	DurNS  int64  `json:"dur_ns,omitempty"`
+}
+
+// Metrics is the METRICS payload: latency distributions, transaction
+// outcomes, the victim breakdown by cause, instantaneous contention
+// gauges and — when the request set Dump — the most recent trace
+// entries (oldest first, capped so the frame stays under MaxFrameSize).
+type Metrics struct {
+	OpLatency HistQ `json:"op_latency"`
+	TxLatency HistQ `json:"tx_latency"`
+	LockWait  HistQ `json:"lock_wait"`
+
+	TxCommits        uint64 `json:"tx_commits"`
+	TxAborts         uint64 `json:"tx_aborts"`
+	VictimsDeadlock  uint64 `json:"victims_deadlock"`
+	VictimsCancelled uint64 `json:"victims_cancelled"`
+	Victims          uint64 `json:"victims"`
+
+	QueuedWaiters    int64 `json:"queued_waiters"`
+	ContendedObjects int64 `json:"contended_objects"`
+
+	TraceDropped uint64       `json:"trace_dropped,omitempty"` // ring overwrites since start
+	Trace        []TraceEntry `json:"trace,omitempty"`
 }
 
 // EncodeOp wraps the adt codec for request building.

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"nestedtx/internal/checker"
 	"nestedtx/internal/core"
 	"nestedtx/internal/event"
 	"nestedtx/internal/lockmgr"
+	"nestedtx/internal/obs"
 	"nestedtx/internal/tree"
 )
 
@@ -35,6 +37,7 @@ type Option func(*options)
 type options struct {
 	record    bool
 	exclusive bool
+	traceCap  int
 }
 
 // WithRecording makes the manager record the formal event schedule of the
@@ -48,12 +51,21 @@ func WithRecording() Option { return func(o *options) { o.record = true } }
 // comparison experiments.
 func WithExclusiveLocking() Option { return func(o *options) { o.exclusive = true } }
 
+// WithTracing keeps a bounded ring buffer of the most recent capacity
+// runtime trace entries — transaction lifecycle events in the formal
+// vocabulary (CREATE, REQUEST_COMMIT, COMMIT, ABORT) plus lock waits and
+// acquisitions — dumpable at any time via [Manager.Metrics]. Unlike
+// [WithRecording], whose schedule grows without bound for Verify,
+// tracing costs fixed memory and is safe to leave on in production.
+func WithTracing(capacity int) Option { return func(o *options) { o.traceCap = capacity } }
+
 // Manager owns a universe of named shared objects and runs top-level
 // transactions against them. A Manager is safe for concurrent use.
 type Manager struct {
 	lm   *lockmgr.Manager
 	rec  *event.Recorder
 	mode core.Mode
+	met  *obs.Metrics
 
 	mu      sync.Mutex
 	st      *event.SystemType
@@ -78,10 +90,15 @@ func NewManager(opts ...Option) *Manager {
 	if o.exclusive {
 		mode = core.Exclusive
 	}
+	met := &obs.Metrics{}
+	if o.traceCap > 0 {
+		met.Tracer = obs.NewTracer(o.traceCap)
+	}
 	return &Manager{
-		lm:   lockmgr.New(rec, mode),
+		lm:   lockmgr.New(rec, mode, met),
 		rec:  rec,
 		mode: mode,
+		met:  met,
 		st:   event.NewSystemType(),
 	}
 }
@@ -110,6 +127,13 @@ func (m *Manager) State(name string) (State, error) {
 
 // Stats returns a copy of the lock-manager counters.
 func (m *Manager) Stats() Stats { return m.lm.Stats() }
+
+// Metrics returns the manager's live metrics registry: latency
+// histograms, outcome counters, contention gauges and (with
+// [WithTracing]) the bounded event trace ring. The registry is always
+// present and safe for concurrent use; reading it never blocks
+// transaction progress.
+func (m *Manager) Metrics() *obs.Metrics { return m.met }
 
 // Run executes fn as a top-level transaction (a child of the mythical root
 // T0). If fn returns nil the transaction commits — its effects become
@@ -147,15 +171,24 @@ func (m *Manager) runTx(id tree.TID, fn func(*Tx) error) error {
 		event.Event{Kind: event.RequestCreate, T: id},
 		event.Event{Kind: event.Create, T: id},
 	)
+	start := time.Now()
+	m.met.Trace(event.Create.String(), string(id), "", 0)
 	tx := &Tx{mgr: m, id: id, cancel: make(chan struct{})}
 	err := tx.execute(fn)
 	if err != nil {
 		m.lm.Abort(id)
+		d := time.Since(start)
+		m.met.ObserveTx(d, false)
+		m.met.Trace(event.Abort.String(), string(id), "", d)
 		return err
 	}
 	v := tx.result()
 	m.rec.Record(event.Event{Kind: event.RequestCommit, T: id, Value: v})
+	m.met.Trace(event.RequestCommit.String(), string(id), "", 0)
 	m.lm.Commit(id, v)
+	d := time.Since(start)
+	m.met.ObserveTx(d, true)
+	m.met.Trace(event.Commit.String(), string(id), "", d)
 	return nil
 }
 

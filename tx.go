@@ -96,7 +96,9 @@ func (tx *Tx) Do(obj string, op Op) (Value, error) {
 		event.Event{Kind: event.RequestCreate, T: a},
 		event.Event{Kind: event.Create, T: a},
 	)
+	start := time.Now()
 	v, err := tx.mgr.lm.Acquire(tx.id, a, obj, op, tx.cancel)
+	tx.mgr.met.ObserveOp(time.Since(start))
 	if err != nil {
 		// The access never responded; the scheduler aborts it.
 		tx.mgr.rec.RecordAll(
@@ -177,13 +179,23 @@ func backoff(attempt int) {
 }
 
 // backoffDur returns the jittered backoff interval after the attempt'th
-// deadlock.
+// deadlock: uniform over (0, min(50µs·2^attempt, 3.2ms)]. The delay —
+// not the shift count — is clamped, so out-of-range attempts (negative,
+// or ≥ 64 where the shift itself would overflow) saturate at the cap
+// instead of panicking or going negative.
 func backoffDur(attempt int) time.Duration {
-	if attempt > 6 {
-		attempt = 6
+	const (
+		base     = 50 * time.Microsecond
+		maxDelay = 64 * base // cap after 6 doublings
+	)
+	delay := maxDelay
+	if attempt < 0 {
+		attempt = 0
 	}
-	max := int64(50<<attempt) * int64(time.Microsecond)
-	return time.Duration(rand.Int63n(max))
+	if attempt < 7 {
+		delay = base << uint(attempt)
+	}
+	return time.Duration(rand.Int63n(int64(delay)) + 1)
 }
 
 // Handle is a concurrent subtransaction started by [Tx.Go].
@@ -237,6 +249,8 @@ func (tx *Tx) runChild(c tree.TID, fn func(*Tx) error) error {
 		event.Event{Kind: event.RequestCreate, T: c},
 		event.Event{Kind: event.Create, T: c},
 	)
+	tx.mgr.met.Trace(event.Create.String(), string(c), "", 0)
+	start := time.Now()
 	child := &Tx{mgr: tx.mgr, id: c, cancel: make(chan struct{})}
 	tx.mu.Lock()
 	tx.children = append(tx.children, child)
@@ -244,11 +258,13 @@ func (tx *Tx) runChild(c tree.TID, fn func(*Tx) error) error {
 	err := child.execute(fn)
 	if err != nil {
 		tx.mgr.lm.Abort(c)
+		tx.mgr.met.Trace(event.Abort.String(), string(c), "", time.Since(start))
 		return err
 	}
 	v := child.result()
 	tx.mgr.rec.Record(event.Event{Kind: event.RequestCommit, T: c, Value: v})
 	tx.mgr.lm.Commit(c, v)
+	tx.mgr.met.Trace(event.Commit.String(), string(c), "", time.Since(start))
 	tx.mu.Lock()
 	tx.committed++
 	tx.mu.Unlock()
