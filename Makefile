@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-short chaos fuzz metrics-smoke clean
+.PHONY: all build vet test race bench bench-short chaos crash fuzz fuzz-short metrics-smoke clean
 
 all: build test
 
@@ -40,8 +40,22 @@ chaos: vet
 	$(GO) test -race -run 'Fault|Poison|Stalled|Timeout|Pool|E11' ./internal/server
 	$(GO) test -race -run NetworkChaosSoak .
 
+# Crash-recovery property suite under the race detector: the WAL unit
+# tests, the 100-seed kill-at-random-byte recovery test (Theorem 34
+# across a crash) and the server drain-durability e2e.
+crash: vet
+	$(GO) test -race ./internal/wal
+	$(GO) test -race -run CrashRecoverySeeds .
+	$(GO) test -race -run 'DrainDurability|LargeState|OversizeState' ./internal/server
+
 fuzz:
 	$(GO) test -fuzz FuzzTheorem34 -fuzztime 30s ./internal/checker
+
+# Short fuzz smoke for CI: the wire framing/decode surface and the WAL
+# segment scanner, a few seconds each.
+fuzz-short:
+	$(GO) test -run XXX -fuzz FuzzReadFrame -fuzztime 10s ./internal/wire
+	$(GO) test -run XXX -fuzz FuzzSegmentScan -fuzztime 10s ./internal/wal
 
 # End-to-end observability probe against the real binaries: starts a
 # traced txserver, drives load with txmetrics -exercise, and asserts the

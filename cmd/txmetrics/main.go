@@ -98,6 +98,13 @@ func main() {
 	printHist("op latency", met.OpLatency)
 	printHist("tx latency", met.TxLatency)
 	printHist("lock wait", met.LockWait)
+	if met.WalAppends > 0 {
+		fmt.Printf("  wal            appends=%d fsyncs=%d (%.3f fsyncs/commit) max-batch=%d checkpoints=%d checkpoint-lsn=%d\n",
+			met.WalAppends, met.WalFsyncs,
+			float64(met.WalFsyncs)/float64(met.WalAppends),
+			met.WalMaxBatch, met.WalCheckpoints, met.WalCheckpointLSN)
+		printHist("fsync latency", met.FsyncLatency)
+	}
 
 	if *dump {
 		if len(met.Trace) == 0 {

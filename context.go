@@ -53,14 +53,7 @@ func (m *Manager) RunCtx(ctx context.Context, fn func(*Tx) error) error {
 		m.met.Trace(event.Abort.String(), string(id), "", d)
 		return err
 	}
-	v := tx.result()
-	m.rec.Record(event.Event{Kind: event.RequestCommit, T: id, Value: v})
-	m.met.Trace(event.RequestCommit.String(), string(id), "", 0)
-	m.lm.Commit(id, v)
-	d := time.Since(start)
-	m.met.ObserveTx(d, true)
-	m.met.Trace(event.Commit.String(), string(id), "", d)
-	return nil
+	return m.commitTop(id, tx, start)
 }
 
 // RunRetryCtx is [Manager.RunRetry] with context cancellation: each

@@ -1,0 +1,93 @@
+package nestedtx
+
+import (
+	"fmt"
+
+	"nestedtx/internal/wal"
+)
+
+// DurableOptions configures the write-ahead log of a durable manager;
+// see wal.Options. The zero value is production-ready: real file system,
+// 4 MiB segments, immediate fsync batching (no added group-commit
+// window).
+type DurableOptions = wal.Options
+
+// Recovery describes what OpenDurable found on disk; see wal.Recovery.
+// Its Verify method machine-checks the recovered history against the
+// Theorem-34 serial-correctness checker.
+type Recovery = wal.Recovery
+
+// WalStats reports a durable manager's log position; see wal.Stats.
+type WalStats = wal.Stats
+
+// OpenDurable opens (creating if needed) a durable Manager backed by a
+// write-ahead log in dir. Any state a previous process left in dir is
+// recovered first — newest valid checkpoint, plus the redo of every
+// intact record past it, with a torn tail truncated at the first bad
+// CRC — and the recovered objects are registered before the manager is
+// returned. The returned Recovery reports what was found; call its
+// Verify method to machine-check the recovered history.
+//
+// On a durable manager every top-level commit is write-ahead logged and
+// fsynced (group-committed per DurableOptions.SyncWindow) before it is
+// acknowledged, so an acknowledged commit survives kill -9. Objects and
+// operations must use the library's serialisable types (see internal/adt);
+// registering or committing something the codec cannot encode fails
+// rather than logging a hole.
+func OpenDurable(dir string, dopts DurableOptions, opts ...Option) (*Manager, *Recovery, error) {
+	m := NewManager(opts...)
+	dopts.Metrics = m.met
+	lg, rec, err := wal.Open(dir, dopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	for x, st := range rec.States() {
+		if err := m.adopt(x, st); err != nil {
+			lg.Close()
+			return nil, nil, fmt.Errorf("nestedtx: adopt recovered object %q: %w", x, err)
+		}
+	}
+	m.wal = lg
+	return m, rec, nil
+}
+
+// Durable reports whether the manager write-ahead logs its commits.
+func (m *Manager) Durable() bool { return m.wal != nil }
+
+// Checkpoint snapshots the committed-to-root state of every object into
+// the log and truncates the segments below it. It waits for in-flight
+// commits to finish their durable apply; new commits block for the
+// (short) duration of the snapshot.
+func (m *Manager) Checkpoint() error {
+	if m.wal == nil {
+		return fmt.Errorf("nestedtx: Checkpoint requires a durable manager (OpenDurable)")
+	}
+	return m.wal.Checkpoint(m.lm.RootStates)
+}
+
+// SyncWAL forces any buffered log records to stable storage now. A no-op
+// on non-durable managers.
+func (m *Manager) SyncWAL() error {
+	if m.wal == nil {
+		return nil
+	}
+	return m.wal.Sync()
+}
+
+// CloseWAL flushes and closes the write-ahead log; the manager must not
+// commit afterwards. A no-op on non-durable managers.
+func (m *Manager) CloseWAL() error {
+	if m.wal == nil {
+		return nil
+	}
+	return m.wal.Close()
+}
+
+// WalStats returns the log position of a durable manager; ok is false on
+// a non-durable one.
+func (m *Manager) WalStats() (stats WalStats, ok bool) {
+	if m.wal == nil {
+		return WalStats{}, false
+	}
+	return m.wal.Stats(), true
+}

@@ -168,6 +168,33 @@ func (m *Manager) CurrentState(x string) (adt.State, error) {
 	return ls.current(), nil
 }
 
+// Registered reports whether object x has been registered.
+func (m *Manager) Registered(x string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.objects[x]
+	return ok
+}
+
+// RootStates returns the committed-to-root state of every registered
+// object — the root's version, excluding every version still held by a
+// live transaction. This is the durable snapshot a checkpoint persists:
+// with the WAL's commit gate held, it equals the redo of all logged
+// records.
+func (m *Manager) RootStates() map[string]adt.State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]adt.State, len(m.objects))
+	for x, ls := range m.objects {
+		v, ok := ls.versions[tree.Root]
+		if !ok {
+			panic("lockmgr: root version lost for " + x)
+		}
+		out[x] = v
+	}
+	return out
+}
+
 func (ls *lockState) current() adt.State {
 	least, ok := ls.write.Least()
 	if !ok {

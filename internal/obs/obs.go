@@ -325,6 +325,22 @@ type Metrics struct {
 	QueuedWaiters    Gauge // currently blocked lock acquisitions
 	ContendedObjects Gauge // objects with a non-empty wait queue
 
+	// FsyncLatency is the duration of each WAL fsync (group commit
+	// flushes a batch of appended records with one Sync).
+	FsyncLatency Histogram
+
+	WalAppends Counter // records appended to the WAL
+	WalFsyncs  Counter // fsyncs issued by the WAL syncer
+	// WalCheckpoints counts completed checkpoints; WalCheckpointLSN is
+	// the next LSN after the newest checkpoint (the redo low-water mark).
+	WalCheckpoints   Counter
+	WalCheckpointLSN Gauge
+	// WalMaxBatch is the largest number of records retired by a single
+	// fsync — the group-commit batching high-water mark. At quiescence
+	//   WalAppends == Σ batch sizes over WalFsyncs
+	// so fsyncs/commit == WalFsyncs / WalAppends.
+	WalMaxBatch Gauge
+
 	// Tracer, when non-nil, receives one entry per transaction
 	// lifecycle event and lock wait/acquire.
 	Tracer *Tracer
@@ -399,13 +415,54 @@ func (m *Metrics) AddContended(delta int64) {
 	m.ContendedObjects.Add(delta)
 }
 
+// ObserveAppend counts one WAL record append.
+func (m *Metrics) ObserveAppend() {
+	if m == nil {
+		return
+	}
+	m.WalAppends.Inc()
+}
+
+// ObserveFsync records one WAL fsync retiring batch records.
+func (m *Metrics) ObserveFsync(d time.Duration, batch int) {
+	if m == nil {
+		return
+	}
+	m.FsyncLatency.Observe(d)
+	m.WalFsyncs.Inc()
+	// Only the single syncer goroutine observes fsyncs, so a plain
+	// read-compare-write keeps the high-water mark exact.
+	if int64(batch) > m.WalMaxBatch.Load() {
+		m.WalMaxBatch.Set(int64(batch))
+	}
+}
+
+// ObserveCheckpoint records one completed checkpoint with its next LSN.
+func (m *Metrics) ObserveCheckpoint(nextLSN uint64) {
+	if m == nil {
+		return
+	}
+	m.WalCheckpoints.Inc()
+	m.WalCheckpointLSN.Set(int64(nextLSN))
+}
+
+// SetCheckpointLSN publishes the recovered checkpoint position without
+// counting a new checkpoint (the boot path).
+func (m *Metrics) SetCheckpointLSN(nextLSN uint64) {
+	if m == nil {
+		return
+	}
+	m.WalCheckpointLSN.Set(int64(nextLSN))
+}
+
 // Snapshot is a point-in-time copy of a Metrics set (histograms as
 // HistSnapshots, counters and gauges as plain numbers). The trace ring
 // is not included — dump it separately via Tracer.Dump.
 type Snapshot struct {
-	OpLatency HistSnapshot
-	TxLatency HistSnapshot
-	LockWait  HistSnapshot
+	OpLatency    HistSnapshot
+	TxLatency    HistSnapshot
+	LockWait     HistSnapshot
+	FsyncLatency HistSnapshot
 
 	TxCommits uint64
 	TxAborts  uint64
@@ -415,6 +472,12 @@ type Snapshot struct {
 
 	QueuedWaiters    int64
 	ContendedObjects int64
+
+	WalAppends       uint64
+	WalFsyncs        uint64
+	WalCheckpoints   uint64
+	WalCheckpointLSN int64
+	WalMaxBatch      int64
 }
 
 // Victims returns the total victim count across causes.
@@ -429,11 +492,17 @@ func (m *Metrics) Snapshot() Snapshot {
 		OpLatency:        m.OpLatency.Snapshot(),
 		TxLatency:        m.TxLatency.Snapshot(),
 		LockWait:         m.LockWait.Snapshot(),
+		FsyncLatency:     m.FsyncLatency.Snapshot(),
 		TxCommits:        m.TxCommits.Load(),
 		TxAborts:         m.TxAborts.Load(),
 		VictimsDeadlock:  m.VictimsDeadlock.Load(),
 		VictimsCancelled: m.VictimsCancelled.Load(),
 		QueuedWaiters:    m.QueuedWaiters.Load(),
 		ContendedObjects: m.ContendedObjects.Load(),
+		WalAppends:       m.WalAppends.Load(),
+		WalFsyncs:        m.WalFsyncs.Load(),
+		WalCheckpoints:   m.WalCheckpoints.Load(),
+		WalCheckpointLSN: m.WalCheckpointLSN.Load(),
+		WalMaxBatch:      m.WalMaxBatch.Load(),
 	}
 }

@@ -215,7 +215,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		// On a durable manager every acknowledged commit was fsynced
+		// before its reply went out, so the drain leaves nothing volatile;
+		// the final flush covers group-commit stragglers that were never
+		// acknowledged and costs one fsync at most.
+		return s.mgr.SyncWAL()
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -315,7 +319,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.count(func(c *Counters) { c.Requests++ })
 		resp := ss.handle(req)
 		resp.Seq = req.Seq
-		werr := wire.WriteFrame(bw, resp)
+		werr := wire.WriteFrameMax(bw, resp, wire.MaxResponseSize)
 		ss.lastActive.Store(time.Now().UnixNano())
 		ss.inFlight.Store(false)
 		if werr != nil {
@@ -521,6 +525,12 @@ func (ss *session) handleMetrics(dump bool) *wire.Response {
 		Victims:          s.Victims(),
 		QueuedWaiters:    s.QueuedWaiters,
 		ContendedObjects: s.ContendedObjects,
+		FsyncLatency:     histQ(s.FsyncLatency),
+		WalAppends:       s.WalAppends,
+		WalFsyncs:        s.WalFsyncs,
+		WalMaxBatch:      uint64(s.WalMaxBatch),
+		WalCheckpoints:   s.WalCheckpoints,
+		WalCheckpointLSN: uint64(s.WalCheckpointLSN),
 	}
 	if dump && met.Tracer != nil {
 		entries := met.Tracer.Dump()
@@ -553,6 +563,14 @@ func (ss *session) handleState(req *wire.Request) *wire.Response {
 	raw, err := wire.EncodeState(st)
 	if err != nil {
 		return fail(wire.CodeInternal, err.Error())
+	}
+	// A snapshot the response frame cannot carry is an explicit, session-
+	// preserving error — not a torn write that kills the connection. The
+	// margin covers the response envelope around the state payload.
+	if len(raw) > wire.MaxResponseSize-1024 {
+		return fail(wire.CodeTooLarge, fmt.Sprintf(
+			"server: state of %q is %d bytes, over the %d-byte response limit",
+			req.Obj, len(raw), wire.MaxResponseSize))
 	}
 	return &wire.Response{OK: true, State: raw}
 }

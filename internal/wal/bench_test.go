@@ -1,0 +1,67 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"nestedtx/internal/adt"
+	"nestedtx/internal/obs"
+)
+
+// BenchmarkGroupCommit measures the effect of the group-commit window on
+// fsync amortisation: W concurrent writers append durable commit records
+// to a log on the real file system, and the reported "fsyncs/commit"
+// metric is the number of physical fsyncs divided by the number of
+// acknowledged commits. With one writer every commit pays a full fsync
+// (≈1.0); with concurrent writers and a nonzero window the batch shares
+// it (≪1.0).
+func BenchmarkGroupCommit(b *testing.B) {
+	for _, window := range []time.Duration{0, 100 * time.Microsecond, time.Millisecond} {
+		for _, writers := range []int{1, 4, 16} {
+			name := fmt.Sprintf("window=%v/writers=%d", window, writers)
+			b.Run(name, func(b *testing.B) {
+				met := &obs.Metrics{}
+				lg, _, err := Open(b.TempDir(), Options{SyncWindow: window, Metrics: met})
+				if err != nil {
+					b.Fatalf("Open: %v", err)
+				}
+				defer lg.Close()
+
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < writers; w++ {
+					n := b.N / writers
+					if w < b.N%writers {
+						n++
+					}
+					wg.Add(1)
+					go func(w, n int) {
+						defer wg.Done()
+						for i := 0; i < n; i++ {
+							r := Record{Commit: &CommitRecord{
+								TID: fmt.Sprintf("T0.%d", w),
+								Effects: []Effect{
+									{Obj: "ctr", Op: adt.CtrAdd{Delta: 1}, Val: int64(i)},
+								},
+							}}
+							if _, err := lg.Append(r); err != nil {
+								b.Errorf("Append: %v", err)
+								return
+							}
+						}
+					}(w, n)
+				}
+				wg.Wait()
+				b.StopTimer()
+
+				s := met.Snapshot()
+				if s.WalAppends > 0 {
+					b.ReportMetric(float64(s.WalFsyncs)/float64(s.WalAppends), "fsyncs/commit")
+					b.ReportMetric(float64(s.WalMaxBatch), "max-batch")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"nestedtx/internal/adt"
+)
+
+// A checkpoint is one framed JSON document holding the committed-to-root
+// state of every object as of an LSN: redoing records [0, NextLSN) from
+// the initial states yields exactly these states. It is written to a
+// temporary file, fsynced, renamed into place and the directory synced —
+// a crash at any point leaves either the old checkpoint or the new one,
+// never a half of either. Only after the new checkpoint is durable are
+// the segments below its LSN removed (low-water truncation), so the redo
+// information for the current states is never lost.
+
+type jsonCheckpoint struct {
+	NextLSN uint64         `json:"next_lsn"`
+	Objects []jsonObjState `json:"objects"`
+}
+
+type jsonObjState struct {
+	Name string          `json:"x"`
+	St   json.RawMessage `json:"st"`
+}
+
+func marshalCheckpoint(nextLSN uint64, states map[string]adt.State) ([]byte, error) {
+	ck := jsonCheckpoint{NextLSN: nextLSN, Objects: make([]jsonObjState, 0, len(states))}
+	names := make([]string, 0, len(states))
+	for x := range states {
+		names = append(names, x)
+	}
+	sort.Strings(names)
+	for _, x := range names {
+		raw, err := adt.EncodeState(states[x])
+		if err != nil {
+			return nil, fmt.Errorf("wal: checkpoint %q: %w", x, err)
+		}
+		ck.Objects = append(ck.Objects, jsonObjState{Name: x, St: raw})
+	}
+	return json.Marshal(ck)
+}
+
+func unmarshalCheckpoint(payload []byte) (uint64, map[string]adt.State, error) {
+	var ck jsonCheckpoint
+	if err := json.Unmarshal(payload, &ck); err != nil {
+		return 0, nil, fmt.Errorf("wal: decode checkpoint: %w", err)
+	}
+	states := make(map[string]adt.State, len(ck.Objects))
+	for _, o := range ck.Objects {
+		st, err := adt.DecodeState(o.St)
+		if err != nil {
+			return 0, nil, fmt.Errorf("wal: checkpoint %q: %w", o.Name, err)
+		}
+		states[o.Name] = st
+	}
+	return ck.NextLSN, states, nil
+}
+
+// Checkpoint snapshots the states returned by capture and truncates the
+// log below them. capture runs with the log quiesced: the checkpoint
+// gate excludes in-flight commits, so every record already appended has
+// been applied and nothing is mid-commit — the captured states are
+// exactly the redo of records [0, NextLSN). capture should return the
+// committed-to-root states (Manager.Checkpoint wires this to the lock
+// manager's root versions).
+func (l *Log) Checkpoint(capture func() map[string]adt.State) error {
+	l.gate.Lock()
+	defer l.gate.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	if l.err != nil {
+		return fmt.Errorf("wal: log failed: %w", l.err)
+	}
+	// Encode before touching any file, so an unencodable state aborts
+	// the checkpoint without harming the log.
+	payload, err := marshalCheckpoint(l.nextLSN, capture())
+	if err != nil {
+		return err
+	}
+
+	name := checkpointName(l.nextLSN)
+	tmp := name + ".tmp"
+	if err := l.writeFileAtomic(tmp, name, appendFrame(nil, payload)); err != nil {
+		l.err = err
+		return err
+	}
+
+	// The new checkpoint is durable; everything below its LSN is now
+	// redundant. Seal the active segment, drop old files, start fresh.
+	if err := l.f.Sync(); err != nil {
+		l.err = fmt.Errorf("wal: checkpoint seal: %w", err)
+		return l.err
+	}
+	if err := l.f.Close(); err != nil {
+		l.err = fmt.Errorf("wal: checkpoint close: %w", err)
+		return l.err
+	}
+	names, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		l.err = fmt.Errorf("wal: checkpoint readdir: %w", err)
+		return l.err
+	}
+	for _, n := range names {
+		if n == name {
+			continue
+		}
+		if strings.HasPrefix(n, "wal-") || strings.HasPrefix(n, "ckpt-") {
+			// Best-effort: a leftover file is ignored by recovery anyway
+			// (its records are below the checkpoint LSN).
+			l.fs.Remove(filepath.Join(l.dir, n))
+		}
+	}
+	segName := segmentName(l.nextLSN)
+	f, err := l.fs.OpenFile(filepath.Join(l.dir, segName), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		l.err = fmt.Errorf("wal: checkpoint segment: %w", err)
+		return l.err
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		f.Close()
+		l.err = fmt.Errorf("wal: checkpoint sync dir: %w", err)
+		return l.err
+	}
+	l.f, l.segName, l.segBytes = f, segName, 0
+	l.ckptLSN = l.nextLSN
+	l.met.ObserveCheckpoint(l.nextLSN)
+	return nil
+}
+
+// writeFileAtomic writes data to tmp, fsyncs it, renames it to name and
+// fsyncs the directory.
+func (l *Log) writeFileAtomic(tmp, name string, data []byte) error {
+	tmpPath := filepath.Join(l.dir, tmp)
+	f, err := l.fs.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint create: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint close: %w", err)
+	}
+	if err := l.fs.Rename(tmpPath, filepath.Join(l.dir, name)); err != nil {
+		return fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		return fmt.Errorf("wal: checkpoint sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,410 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// File is the slice of *os.File the log needs. The indirection exists so
+// crash tests can substitute torn-write and error-injecting files: the
+// recovery property suite kills a run at an arbitrary byte of the stream
+// and proves the recovered prefix still satisfies Theorem 34.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file to stable storage (fsync). Append only
+	// acknowledges a commit after Sync has covered its record.
+	Sync() error
+	// Truncate cuts the file to size bytes — used by recovery to remove a
+	// torn tail so it is never scanned again.
+	Truncate(size int64) error
+}
+
+// FS is the directory-level file system the log runs on. The production
+// implementation is [OSFS]; [MemFS] backs fast deterministic tests and
+// [FaultFS] wraps either with crash injection.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics for the given flags.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadDir lists the file names (not paths) in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	Remove(name string) error
+	Rename(oldname, newname string) error
+	MkdirAll(dir string) error
+	// SyncDir fsyncs a directory so renames and creations within it are
+	// durable. Implementations without directory sync return nil.
+	SyncDir(dir string) error
+	// Size returns the byte size of name.
+	Size(name string) (int64, error)
+}
+
+// ---- OS implementation ----
+
+// OSFS is the real file system.
+type OSFS struct{}
+
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) Remove(name string) error          { return os.Remove(name) }
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (OSFS) MkdirAll(dir string) error         { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func (OSFS) Size(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// ---- in-memory implementation ----
+
+// MemFS is an in-memory file system with real-file semantics (append,
+// truncate, rename, remove). It models kill -9 exactly: a killed process
+// loses nothing already written (the page cache survives a process
+// death), so combined with [FaultFS] — which models the bytes that never
+// made it out of the dying process — it gives deterministic, seedable
+// crash points without disk I/O.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewMemFS returns an empty in-memory file system.
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string][]byte)} }
+
+type memFile struct {
+	fs   *MemFS
+	name string
+	pos  int64 // read position
+}
+
+func (m *MemFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.files[name]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+		}
+		m.files[name] = nil
+	} else if flag&os.O_TRUNC != 0 {
+		m.files[name] = nil
+	}
+	return &memFile{fs: m, name: name}, nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	buf, ok := f.fs.files[f.name]
+	if !ok {
+		return 0, &os.PathError{Op: "write", Path: f.name, Err: os.ErrNotExist}
+	}
+	f.fs.files[f.name] = append(buf, p...)
+	return len(p), nil
+}
+
+func (f *memFile) Read(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	buf, ok := f.fs.files[f.name]
+	if !ok {
+		return 0, &os.PathError{Op: "read", Path: f.name, Err: os.ErrNotExist}
+	}
+	if f.pos >= int64(len(buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, buf[f.pos:])
+	f.pos += int64(n)
+	return n, nil
+}
+
+func (f *memFile) Sync() error  { return nil }
+func (f *memFile) Close() error { return nil }
+
+func (f *memFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	buf, ok := f.fs.files[f.name]
+	if !ok {
+		return &os.PathError{Op: "truncate", Path: f.name, Err: os.ErrNotExist}
+	}
+	if size < int64(len(buf)) {
+		f.fs.files[f.name] = buf[:size:size]
+	}
+	return nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := filepath.Clean(dir) + string(filepath.Separator)
+	var names []string
+	for name := range m.files {
+		if filepath.Dir(name) == filepath.Clean(dir) {
+			names = append(names, filepath.Base(name))
+		} else if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+			names = append(names, name[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	buf, ok := m.files[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
+	}
+	m.files[newname] = buf
+	delete(m.files, oldname)
+	return nil
+}
+
+func (m *MemFS) MkdirAll(dir string) error  { return nil }
+func (m *MemFS) SyncDir(dir string) error   { return nil }
+
+func (m *MemFS) Size(name string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	buf, ok := m.files[name]
+	if !ok {
+		return 0, &os.PathError{Op: "stat", Path: name, Err: os.ErrNotExist}
+	}
+	return int64(len(buf)), nil
+}
+
+// Corrupt flips one byte of name at offset, for bad-CRC recovery tests.
+func (m *MemFS) Corrupt(name string, offset int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	buf, ok := m.files[name]
+	if !ok {
+		return &os.PathError{Op: "corrupt", Path: name, Err: os.ErrNotExist}
+	}
+	if offset < 0 || offset >= int64(len(buf)) {
+		return fmt.Errorf("wal: corrupt %s: offset %d out of range %d", name, offset, len(buf))
+	}
+	buf[offset] ^= 0xff
+	return nil
+}
+
+// ---- fault injection ----
+
+// FaultFS wraps an FS with a crash point: after Budget bytes have been
+// written through it, every later write is silently dropped (the torn
+// half of the final write included) while still reporting success — the
+// exact shape of a process killed mid-stream: it believed its writes
+// happened, but only a byte prefix reached stable storage. Metadata
+// operations (create, rename, remove) past the crash point are dropped
+// the same way. With FailClosed set, exhausted operations instead return
+// ErrInjected, exercising the error path: a commit whose WAL append
+// fails must abort, not ack.
+type FaultFS struct {
+	inner FS
+
+	mu         sync.Mutex
+	budget     int64 // remaining writable bytes; < 0 means unlimited
+	failClosed bool
+}
+
+// ErrInjected is returned by FaultFS operations past the crash point in
+// FailClosed mode.
+var ErrInjected = fmt.Errorf("wal: injected fault")
+
+// NewFaultFS wraps inner with an unlimited budget (no fault until
+// CrashAfter or FailAfter is called).
+func NewFaultFS(inner FS) *FaultFS { return &FaultFS{inner: inner, budget: -1} }
+
+// CrashAfter arms torn-write mode: after n more bytes, writes and
+// metadata ops silently vanish.
+func (fs *FaultFS) CrashAfter(n int64) {
+	fs.mu.Lock()
+	fs.budget, fs.failClosed = n, false
+	fs.mu.Unlock()
+}
+
+// FailAfter arms error mode: after n more bytes, writes and syncs return
+// ErrInjected.
+func (fs *FaultFS) FailAfter(n int64) {
+	fs.mu.Lock()
+	fs.budget, fs.failClosed = n, true
+	fs.mu.Unlock()
+}
+
+// Crashed reports whether the crash point has been reached.
+func (fs *FaultFS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.budget == 0
+}
+
+// consume takes up to n bytes of budget, returning how many may really
+// be written and whether the rest should error (vs vanish).
+func (fs *FaultFS) consume(n int64) (allowed int64, failClosed bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.budget < 0 {
+		return n, false
+	}
+	allowed = fs.budget
+	if allowed > n {
+		allowed = n
+	}
+	fs.budget -= allowed
+	return allowed, fs.failClosed
+}
+
+// alive reports whether metadata ops may still proceed.
+func (fs *FaultFS) alive() (bool, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.budget != 0, fs.failClosed
+}
+
+type faultFile struct {
+	fs *FaultFS
+	f  File
+}
+
+func (fs *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if ok, failClosed := fs.alive(); !ok {
+		if failClosed {
+			return nil, ErrInjected
+		}
+		// The process died before creating this file; hand back a sink so
+		// the oblivious writer can keep "succeeding".
+		if flag&os.O_CREATE != 0 {
+			return devNull{}, nil
+		}
+	}
+	f, err := fs.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: fs, f: f}, nil
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	allowed, failClosed := f.fs.consume(int64(len(p)))
+	if allowed > 0 {
+		if _, err := f.f.Write(p[:allowed]); err != nil {
+			return 0, err
+		}
+	}
+	if allowed < int64(len(p)) && failClosed {
+		return int(allowed), ErrInjected
+	}
+	return len(p), nil
+}
+
+func (f *faultFile) Read(p []byte) (int, error) { return f.f.Read(p) }
+
+func (f *faultFile) Sync() error {
+	if ok, failClosed := f.fs.alive(); !ok && failClosed {
+		return ErrInjected
+	}
+	return f.f.Sync()
+}
+
+func (f *faultFile) Close() error { return f.f.Close() }
+
+func (f *faultFile) Truncate(size int64) error {
+	if ok, failClosed := f.fs.alive(); !ok {
+		if failClosed {
+			return ErrInjected
+		}
+		return nil
+	}
+	return f.f.Truncate(size)
+}
+
+func (fs *FaultFS) ReadDir(dir string) ([]string, error) { return fs.inner.ReadDir(dir) }
+
+func (fs *FaultFS) Remove(name string) error {
+	if ok, failClosed := fs.alive(); !ok {
+		if failClosed {
+			return ErrInjected
+		}
+		return nil
+	}
+	return fs.inner.Remove(name)
+}
+
+func (fs *FaultFS) Rename(oldname, newname string) error {
+	if ok, failClosed := fs.alive(); !ok {
+		if failClosed {
+			return ErrInjected
+		}
+		return nil
+	}
+	return fs.inner.Rename(oldname, newname)
+}
+
+func (fs *FaultFS) MkdirAll(dir string) error { return fs.inner.MkdirAll(dir) }
+
+func (fs *FaultFS) SyncDir(dir string) error {
+	if ok, failClosed := fs.alive(); !ok {
+		if failClosed {
+			return ErrInjected
+		}
+		return nil
+	}
+	return fs.inner.SyncDir(dir)
+}
+
+func (fs *FaultFS) Size(name string) (int64, error) { return fs.inner.Size(name) }
+
+// devNull swallows writes from a process that is already past its crash
+// point but does not know it.
+type devNull struct{}
+
+func (devNull) Write(p []byte) (int, error) { return len(p), nil }
+func (devNull) Read(p []byte) (int, error)  { return 0, io.EOF }
+func (devNull) Sync() error                 { return nil }
+func (devNull) Close() error                { return nil }
+func (devNull) Truncate(int64) error        { return nil }

@@ -1,0 +1,224 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+
+	"nestedtx/internal/adt"
+)
+
+// The log stores two kinds of records. A register record introduces an
+// object with its initial state; a commit record is the redo image of one
+// committed top-level transaction: its surviving accesses in effect
+// order, each op and its returned value in the adt codec encoding (the
+// same tagged JSON the wire protocol and schedule-persistence tools use).
+// Logging the returned values as well as the ops is what lets recovery do
+// more than replay blindly: the reconstructed schedule carries the values
+// the live run actually returned, and the Theorem-34 checker verifies
+// them against the object automata.
+
+// Effect is one surviving access of a committed top-level transaction:
+// op applied to obj returned val.
+type Effect struct {
+	Obj string
+	Op  adt.Op
+	Val adt.Value
+}
+
+// CommitRecord is the redo image of one committed top-level transaction.
+type CommitRecord struct {
+	TID     string // runtime TID at commit time (informational; recovery renumbers)
+	Value   adt.Value
+	Effects []Effect
+}
+
+// RegisterRecord introduces an object and its initial state.
+type RegisterRecord struct {
+	Name    string
+	Initial adt.State
+}
+
+// Record is one decoded log record. Exactly one of Commit and Register
+// is non-nil.
+type Record struct {
+	LSN      uint64
+	Commit   *CommitRecord
+	Register *RegisterRecord
+}
+
+// ---- JSON forms ----
+
+type jsonEffect struct {
+	Obj string          `json:"x"`
+	Op  json.RawMessage `json:"op"`
+	Val json.RawMessage `json:"v"`
+}
+
+type jsonRecord struct {
+	LSN  uint64          `json:"lsn"`
+	Kind string          `json:"k"` // "commit" | "register"
+	TID  string          `json:"tid,omitempty"`
+	Val  json.RawMessage `json:"v,omitempty"`
+	Ops  []jsonEffect    `json:"ops,omitempty"`
+	Obj  string          `json:"obj,omitempty"`
+	St   json.RawMessage `json:"st,omitempty"`
+}
+
+// encodeValueOrNil encodes v, falling back to nil for values outside the
+// library vocabulary: a top-level Return value may be any comparable
+// type, and the checker never inspects top-level commit values, so an
+// unencodable one degrades to nil in the log rather than failing the
+// commit. Access values are always library values and never hit the
+// fallback.
+func encodeValueOrNil(v adt.Value) json.RawMessage {
+	raw, err := adt.EncodeValue(v)
+	if err != nil {
+		raw, _ = adt.EncodeValue(nil)
+	}
+	return raw
+}
+
+func marshalRecord(r Record) ([]byte, error) {
+	jr := jsonRecord{LSN: r.LSN}
+	switch {
+	case r.Commit != nil:
+		jr.Kind = "commit"
+		jr.TID = r.Commit.TID
+		jr.Val = encodeValueOrNil(r.Commit.Value)
+		jr.Ops = make([]jsonEffect, len(r.Commit.Effects))
+		for i, e := range r.Commit.Effects {
+			op, err := adt.EncodeOp(e.Op)
+			if err != nil {
+				return nil, fmt.Errorf("wal: %s op %d on %q: %w", r.Commit.TID, i, e.Obj, err)
+			}
+			val, err := adt.EncodeValue(e.Val)
+			if err != nil {
+				return nil, fmt.Errorf("wal: %s value %d on %q: %w", r.Commit.TID, i, e.Obj, err)
+			}
+			jr.Ops[i] = jsonEffect{Obj: e.Obj, Op: op, Val: val}
+		}
+	case r.Register != nil:
+		jr.Kind = "register"
+		jr.Obj = r.Register.Name
+		st, err := adt.EncodeState(r.Register.Initial)
+		if err != nil {
+			return nil, fmt.Errorf("wal: register %q: %w", r.Register.Name, err)
+		}
+		jr.St = st
+	default:
+		return nil, fmt.Errorf("wal: empty record")
+	}
+	return json.Marshal(jr)
+}
+
+func unmarshalRecord(data []byte) (Record, error) {
+	var jr jsonRecord
+	if err := json.Unmarshal(data, &jr); err != nil {
+		return Record{}, fmt.Errorf("wal: decode record: %w", err)
+	}
+	r := Record{LSN: jr.LSN}
+	switch jr.Kind {
+	case "commit":
+		c := &CommitRecord{TID: jr.TID}
+		if len(jr.Val) > 0 {
+			v, err := adt.DecodeValue(jr.Val)
+			if err != nil {
+				return Record{}, fmt.Errorf("wal: record %d: %w", jr.LSN, err)
+			}
+			c.Value = v
+		}
+		c.Effects = make([]Effect, len(jr.Ops))
+		for i, je := range jr.Ops {
+			op, err := adt.DecodeOp(je.Op)
+			if err != nil {
+				return Record{}, fmt.Errorf("wal: record %d op %d: %w", jr.LSN, i, err)
+			}
+			val, err := adt.DecodeValue(je.Val)
+			if err != nil {
+				return Record{}, fmt.Errorf("wal: record %d value %d: %w", jr.LSN, i, err)
+			}
+			c.Effects[i] = Effect{Obj: je.Obj, Op: op, Val: val}
+		}
+		r.Commit = c
+	case "register":
+		st, err := adt.DecodeState(jr.St)
+		if err != nil {
+			return Record{}, fmt.Errorf("wal: record %d register %q: %w", jr.LSN, jr.Obj, err)
+		}
+		r.Register = &RegisterRecord{Name: jr.Obj, Initial: st}
+	default:
+		return Record{}, fmt.Errorf("wal: record %d: unknown kind %q", jr.LSN, jr.Kind)
+	}
+	return r, nil
+}
+
+// ---- framing ----
+
+// Frames mirror the wire protocol's shape with an added checksum:
+//
+//	<payload-len> <crc32c-hex>\n
+//	<payload JSON>\n
+//
+// The CRC (Castagnoli) covers the payload bytes only. Anything that does
+// not parse — short header, short payload, checksum mismatch, bad JSON,
+// non-contiguous LSN — marks the torn point: recovery truncates there
+// and never replays a byte past it.
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxRecordSize bounds a single record frame; a header claiming more is
+// corruption, not a big record.
+const maxRecordSize = 64 << 20
+
+// appendFrame appends the framed encoding of payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = strconv.AppendInt(dst, int64(len(payload)), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, uint64(crc32.Checksum(payload, castagnoli)), 16)
+	dst = append(dst, '\n')
+	dst = append(dst, payload...)
+	dst = append(dst, '\n')
+	return dst
+}
+
+// scanFrame parses one frame at the start of buf. It returns the payload
+// and the total frame length. A nil payload with err == nil means buf is
+// empty (clean end). Any malformation returns an error; the caller
+// treats the frame start as the torn point.
+func scanFrame(buf []byte) (payload []byte, frameLen int, err error) {
+	if len(buf) == 0 {
+		return nil, 0, nil
+	}
+	nl := bytes.IndexByte(buf, '\n')
+	if nl < 0 {
+		return nil, 0, fmt.Errorf("wal: torn frame header")
+	}
+	header := buf[:nl]
+	sp := bytes.IndexByte(header, ' ')
+	if sp < 0 {
+		return nil, 0, fmt.Errorf("wal: malformed frame header %q", header)
+	}
+	size, err := strconv.ParseInt(string(header[:sp]), 10, 64)
+	if err != nil || size < 0 || size > maxRecordSize {
+		return nil, 0, fmt.Errorf("wal: bad frame length %q", header[:sp])
+	}
+	sum, err := strconv.ParseUint(string(header[sp+1:]), 16, 32)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: bad frame checksum %q", header[sp+1:])
+	}
+	end := nl + 1 + int(size) + 1
+	if end > len(buf) {
+		return nil, 0, fmt.Errorf("wal: torn frame payload (%d of %d bytes)", len(buf)-nl-1, size+1)
+	}
+	payload = buf[nl+1 : nl+1+int(size)]
+	if buf[end-1] != '\n' {
+		return nil, 0, fmt.Errorf("wal: missing frame terminator")
+	}
+	if got := crc32.Checksum(payload, castagnoli); uint32(sum) != got {
+		return nil, 0, fmt.Errorf("wal: checksum mismatch: header %08x, payload %08x", sum, got)
+	}
+	return payload, end, nil
+}

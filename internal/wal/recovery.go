@@ -1,0 +1,361 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nestedtx/internal/adt"
+	"nestedtx/internal/checker"
+	"nestedtx/internal/core"
+	"nestedtx/internal/event"
+	"nestedtx/internal/tree"
+)
+
+// Recovery is the result of scanning a log directory: the newest valid
+// checkpoint, every intact record past it, and the object states their
+// redo produces. Verify goes further than redo: it reconstructs the
+// recovered history as a formal schedule and replays it through the
+// serial-correctness checker, certifying that Theorem 34 holds for the
+// state the recovered Manager will serve.
+type Recovery struct {
+	// CheckpointLSN is the redo low-water mark: the first LSN redone.
+	// Zero means no checkpoint was found and redo starts from empty.
+	CheckpointLSN uint64
+	// Checkpoint holds the base states from the newest valid checkpoint
+	// (nil when CheckpointLSN is zero).
+	Checkpoint map[string]adt.State
+	// Records are the intact records with LSN >= CheckpointLSN, in LSN
+	// order: a contiguous, durable prefix of the pre-crash history.
+	Records []Record
+	// NextLSN is the LSN the next append will receive.
+	NextLSN uint64
+	// TornBytes counts bytes cut from the first corrupt frame onward in
+	// the segment where scanning stopped.
+	TornBytes int64
+	// Dropped lists files set aside (renamed *.corrupt) or ignored
+	// because they follow a corrupt frame or failed to parse.
+	Dropped []string
+
+	tailSegment string
+	states      map[string]adt.State
+	segments    []SegmentInfo
+}
+
+// SegmentInfo describes one scanned segment file.
+type SegmentInfo struct {
+	Name     string
+	Size     int64
+	FirstLSN uint64 // valid when Records > 0
+	LastLSN  uint64 // valid when Records > 0
+	Records  int
+	Torn     bool // scanning stopped inside this segment
+}
+
+// States returns the recovered object states: checkpoint base plus the
+// redo of every recovered record. The caller takes ownership.
+func (r *Recovery) States() map[string]adt.State { return r.states }
+
+// Segments returns per-segment scan details, in scan order.
+func (r *Recovery) Segments() []SegmentInfo { return r.segments }
+
+// Inspect scans dir read-only: like the recovery pass of Open, but it
+// neither truncates torn tails nor renames corrupt files, so it is safe
+// to point at a live or post-mortem log directory (cmd/txwal uses it).
+func Inspect(dir string, fs FS) (*Recovery, error) {
+	if fs == nil {
+		fs = OSFS{}
+	}
+	return scanDir(fs, dir, false)
+}
+
+// parseLSN extracts the LSN from a file name of form prefix-%016d.suffix.
+func parseLSN(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	n, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// scanDir performs the recovery scan. With mutate set (the Open path) it
+// physically truncates the torn tail and renames undecodable files to
+// *.corrupt so they are never scanned again; without it (Inspect) the
+// directory is left untouched.
+func scanDir(fs FS, dir string, mutate bool) (*Recovery, error) {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read dir %s: %w", dir, err)
+	}
+	var segLSNs []uint64
+	segByLSN := make(map[uint64]string)
+	var ckptLSNs []uint64
+	ckptByLSN := make(map[uint64]string)
+	rec := &Recovery{states: make(map[string]adt.State)}
+	for _, n := range names {
+		if lsn, ok := parseLSN(n, "wal-", ".seg"); ok {
+			segLSNs = append(segLSNs, lsn)
+			segByLSN[lsn] = n
+			continue
+		}
+		if lsn, ok := parseLSN(n, "ckpt-", ".ckpt"); ok {
+			ckptLSNs = append(ckptLSNs, lsn)
+			ckptByLSN[lsn] = n
+			continue
+		}
+		if strings.HasSuffix(n, ".tmp") && mutate {
+			// A checkpoint that never reached its rename.
+			fs.Remove(filepath.Join(dir, n))
+		}
+	}
+	sort.Slice(segLSNs, func(i, j int) bool { return segLSNs[i] < segLSNs[j] })
+	sort.Slice(ckptLSNs, func(i, j int) bool { return ckptLSNs[i] > ckptLSNs[j] })
+
+	// Newest valid checkpoint wins; invalid ones are set aside.
+	for _, lsn := range ckptLSNs {
+		name := ckptByLSN[lsn]
+		buf, err := readWhole(fs, filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("wal: read checkpoint %s: %w", name, err)
+		}
+		payload, frameLen, ferr := scanFrame(buf)
+		if ferr != nil || payload == nil || frameLen != len(buf) {
+			rec.discard(fs, dir, name, mutate)
+			continue
+		}
+		next, states, cerr := unmarshalCheckpoint(payload)
+		if cerr != nil || next != lsn {
+			rec.discard(fs, dir, name, mutate)
+			continue
+		}
+		rec.CheckpointLSN = next
+		rec.Checkpoint = states
+		break
+	}
+	for x, st := range rec.Checkpoint {
+		rec.states[x] = st
+	}
+	rec.NextLSN = rec.CheckpointLSN
+
+	// Scan segments in LSN order; the first corrupt frame ends the
+	// durable prefix — it is truncated (mutate) and every later segment
+	// is set aside, never replayed.
+	corrupted := false
+	for _, lsn := range segLSNs {
+		name := segByLSN[lsn]
+		if corrupted {
+			rec.discard(fs, dir, name, mutate)
+			continue
+		}
+		path := filepath.Join(dir, name)
+		buf, err := readWhole(fs, path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: read segment %s: %w", name, err)
+		}
+		info := SegmentInfo{Name: name, Size: int64(len(buf))}
+		offset := 0
+		for {
+			payload, frameLen, ferr := scanFrame(buf[offset:])
+			if ferr == nil && payload == nil {
+				break // clean end of segment
+			}
+			var r Record
+			if ferr == nil {
+				r, ferr = unmarshalRecord(payload)
+			}
+			if ferr == nil && r.LSN >= rec.NextLSN && r.LSN != rec.NextLSN {
+				ferr = fmt.Errorf("wal: LSN gap: got %d, want %d", r.LSN, rec.NextLSN)
+			}
+			if ferr != nil {
+				// Torn or corrupt: cut here, drop everything after.
+				info.Torn = true
+				corrupted = true
+				rec.TornBytes = int64(len(buf) - offset)
+				if mutate {
+					if terr := truncateAt(fs, path, int64(offset)); terr != nil {
+						return nil, fmt.Errorf("wal: truncate %s: %w", name, terr)
+					}
+				}
+				break
+			}
+			if r.LSN >= rec.NextLSN {
+				rec.Records = append(rec.Records, r)
+				rec.NextLSN = r.LSN + 1
+				if info.Records == 0 {
+					info.FirstLSN = r.LSN
+				}
+				info.LastLSN = r.LSN
+				info.Records++
+			}
+			offset += frameLen
+		}
+		rec.segments = append(rec.segments, info)
+		rec.tailSegment = name
+	}
+
+	if err := rec.redo(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// discard sets a file aside: renamed to *.corrupt when mutating, just
+// recorded otherwise.
+func (r *Recovery) discard(fs FS, dir, name string, mutate bool) {
+	r.Dropped = append(r.Dropped, name)
+	if mutate {
+		fs.Rename(filepath.Join(dir, name), filepath.Join(dir, name+".corrupt"))
+	}
+}
+
+func readWhole(fs FS, path string) ([]byte, error) {
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+func truncateAt(fs FS, path string, size int64) error {
+	f, err := fs.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// redo applies the recovered records to the checkpoint base, verifying
+// each logged value against what the operation actually returns — a
+// mismatch means the log or checkpoint is inconsistent and recovery must
+// not trust it.
+func (r *Recovery) redo() error {
+	for _, rec := range r.Records {
+		switch {
+		case rec.Register != nil:
+			// A re-registration of an existing object is a no-op (the
+			// live path refuses the duplicate after logging it).
+			if _, ok := r.states[rec.Register.Name]; !ok {
+				r.states[rec.Register.Name] = rec.Register.Initial
+			}
+		case rec.Commit != nil:
+			for i, e := range rec.Commit.Effects {
+				st, ok := r.states[e.Obj]
+				if !ok {
+					return fmt.Errorf("wal: record %d effect %d: unknown object %q", rec.LSN, i, e.Obj)
+				}
+				next, v := e.Op.Apply(st)
+				if v != e.Val {
+					return fmt.Errorf("wal: record %d effect %d on %q: logged value %v, redo produced %v",
+						rec.LSN, i, e.Obj, e.Val, v)
+				}
+				r.states[e.Obj] = next
+			}
+		}
+	}
+	return nil
+}
+
+// Schedule reconstructs the recovered history as a formal concurrent
+// schedule over a fresh system type. Each recovered commit becomes one
+// top-level transaction under T0 (numbered in LSN order) whose accesses
+// are its logged effects, emitted in exactly the event pattern the live
+// runtime records: because the WAL append happens before the committer's
+// locks are released, log order agrees with the per-object conflict
+// order, and this serial rendering is a faithful account of what the
+// pre-crash system did.
+func (r *Recovery) Schedule() (event.Schedule, *event.SystemType, error) {
+	st := event.NewSystemType()
+	for x, s := range r.Checkpoint {
+		st.DefineObject(x, s)
+	}
+	sched := event.Schedule{{Kind: event.Create, T: tree.Root}}
+	k := 0
+	for _, rec := range r.Records {
+		if rec.Register != nil {
+			if _, ok := st.ObjectInitial(rec.Register.Name); !ok {
+				st.DefineObject(rec.Register.Name, rec.Register.Initial)
+			}
+			continue
+		}
+		c := rec.Commit
+		t := tree.Root.Child(k)
+		k++
+		sched = append(sched,
+			event.Event{Kind: event.RequestCreate, T: t},
+			event.Event{Kind: event.Create, T: t},
+		)
+		var touched []string
+		seen := make(map[string]bool)
+		for j, e := range c.Effects {
+			a := t.Child(j)
+			if err := st.DefineAccess(a, e.Obj, e.Op); err != nil {
+				return nil, nil, fmt.Errorf("wal: record %d: %w", rec.LSN, err)
+			}
+			sched = append(sched,
+				event.Event{Kind: event.RequestCreate, T: a},
+				event.Event{Kind: event.Create, T: a},
+				event.Event{Kind: event.RequestCommit, T: a, Value: e.Val},
+				event.Event{Kind: event.Commit, T: a},
+				event.Event{Kind: event.InformCommitAt, T: a, Object: e.Obj},
+				event.Event{Kind: event.ReportCommit, T: a, Value: e.Val},
+			)
+			if !seen[e.Obj] {
+				seen[e.Obj] = true
+				touched = append(touched, e.Obj)
+			}
+		}
+		sched = append(sched,
+			event.Event{Kind: event.RequestCommit, T: t, Value: c.Value},
+			event.Event{Kind: event.Commit, T: t},
+		)
+		for _, x := range touched {
+			sched = append(sched, event.Event{Kind: event.InformCommitAt, T: t, Object: x})
+		}
+		sched = append(sched, event.Event{Kind: event.ReportCommit, T: t, Value: c.Value})
+	}
+	return sched, st, nil
+}
+
+// Verify machine-checks the recovered history: the reconstructed
+// schedule must be well-formed, replayable by every R/W Locking object
+// automaton (which re-validates every logged value against the data
+// type), accepted by the Theorem-34 serial-correctness checker, and the
+// automata's final states must equal the redo states the recovered
+// Manager will serve. This is the property "Theorem 34 holds across a
+// crash".
+func (r *Recovery) Verify() error {
+	sched, st, err := r.Schedule()
+	if err != nil {
+		return err
+	}
+	if err := event.WFConcurrent(sched, st); err != nil {
+		return fmt.Errorf("wal: recovered schedule not well-formed: %w", err)
+	}
+	for _, x := range st.Objects() {
+		lo, err := core.Replay(st, x, core.ReadWrite, sched.AtLockObject(st, x))
+		if err != nil {
+			return fmt.Errorf("wal: recovered schedule rejected at M(%s): %w", x, err)
+		}
+		if got := lo.CurrentState(); !reflect.DeepEqual(got, r.states[x]) {
+			return fmt.Errorf("wal: %s: replay state %v != redo state %v", x, got, r.states[x])
+		}
+	}
+	if err := checker.CheckAll(sched, st); err != nil {
+		return fmt.Errorf("wal: recovered schedule fails serial correctness: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,369 @@
+// Package wal is the durability subsystem: a segmented, CRC32C-checked,
+// append-only redo log of committed top-level transactions, with group
+// commit, checkpoints, and a crash-recovery path whose result is not
+// merely plausible but machine-checked — the recovered history is
+// reconstructed as a formal schedule and replayed through the Theorem-34
+// serial-correctness checker (internal/checker).
+//
+// The protocol is strict write-ahead logging at the top level of the
+// transaction tree: a top-level commit appends its redo record and waits
+// for an fsync to cover it *before* the lock manager releases its locks.
+// Under Moss locking that ordering has a crucial consequence: any later
+// transaction that conflicts with the committer can only be granted its
+// lock after the release, hence after the append — so for every object,
+// log order agrees with the runtime conflict order. The log is therefore
+// a serial history, and replaying its prefix after a crash yields a state
+// the checker can certify (Theorem 34 across a crash).
+//
+// Group commit: appenders write their record into the active segment and
+// then park; a single syncer goroutine retires all parked appenders with
+// one Fsync, optionally waiting a configurable window first so concurrent
+// commits share the flush. Checkpoints snapshot the committed-to-root
+// object states behind a writer lock that drains in-flight appends, so a
+// checkpoint is exactly equivalent to the redo of every record below its
+// LSN.
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"nestedtx/internal/obs"
+)
+
+// Options configures a Log.
+type Options struct {
+	// SyncWindow is the group-commit window: after the first commit of a
+	// batch parks, the syncer waits this long for more commits to join
+	// before issuing the shared fsync. Zero syncs each batch immediately
+	// (batching still happens while a previous fsync is in flight).
+	SyncWindow time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this many
+	// bytes. Zero means the 4 MiB default.
+	SegmentBytes int64
+	// FS is the backing file system; nil means the real one (OSFS).
+	FS FS
+	// Metrics, when non-nil, receives fsync latencies, append/fsync/
+	// checkpoint counts and the batching high-water mark.
+	Metrics *obs.Metrics
+}
+
+const defaultSegmentBytes = 4 << 20
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use.
+type Log struct {
+	dir string
+	fs  FS
+	met *obs.Metrics
+
+	window   time.Duration
+	segLimit int64
+
+	// gate orders appends against checkpoints: every append holds a read
+	// lock from its write through its apply callback; Checkpoint takes
+	// the write lock, so when it runs every appended record has been
+	// applied and no commit is mid-flight.
+	gate sync.RWMutex
+
+	mu       sync.Mutex
+	f        File   // active segment
+	segName  string // file name of the active segment
+	segBytes int64  // bytes written to the active segment
+	nextLSN  uint64
+	ckptLSN  uint64 // next LSN after the newest checkpoint (redo low-water)
+	waiters  []chan error
+	err      error // latched fatal error: log is read-only from here on
+	closed   bool
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+func segmentName(lsn uint64) string    { return fmt.Sprintf("wal-%016d.seg", lsn) }
+func checkpointName(lsn uint64) string { return fmt.Sprintf("ckpt-%016d.ckpt", lsn) }
+
+// Open opens (creating if needed) the log in dir, recovering whatever a
+// previous process left behind: it loads the newest valid checkpoint,
+// redoes every intact record past it, truncates a torn tail at the first
+// bad frame, and returns the resulting Recovery alongside the ready-to-
+// append Log. New appends continue the LSN sequence where the recovered
+// prefix ends.
+func Open(dir string, opts Options) (*Log, *Recovery, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS{}
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	rec, err := scanDir(fs, dir, true)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	l := &Log{
+		dir:      dir,
+		fs:       fs,
+		met:      opts.Metrics,
+		window:   opts.SyncWindow,
+		segLimit: opts.SegmentBytes,
+		nextLSN:  rec.NextLSN,
+		ckptLSN:  rec.CheckpointLSN,
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	// Continue the last surviving segment, or start a fresh one.
+	name := rec.tailSegment
+	flag := os.O_WRONLY | os.O_APPEND
+	if name == "" {
+		name = segmentName(l.nextLSN)
+		flag |= os.O_CREATE
+	}
+	f, err := fs.OpenFile(filepath.Join(dir, name), flag, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open segment: %w", err)
+	}
+	l.f, l.segName = f, name
+	if size, err := fs.Size(filepath.Join(dir, name)); err == nil {
+		l.segBytes = size
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: sync dir: %w", err)
+	}
+	l.met.SetCheckpointLSN(l.ckptLSN)
+	go l.syncer()
+	return l, rec, nil
+}
+
+// Append writes one record, waits until it is durable, and returns its
+// LSN. The record's LSN field is assigned by the log.
+func (l *Log) Append(r Record) (uint64, error) {
+	l.gate.RLock()
+	defer l.gate.RUnlock()
+	return l.appendDurable(r)
+}
+
+// AppendApply writes one record, waits until it is durable, then runs
+// apply — all while holding the checkpoint gate, so a concurrent
+// Checkpoint can never observe a state whose last commit is not yet in
+// the log (or vice versa). apply's error is returned as-is.
+func (l *Log) AppendApply(r Record, apply func() error) error {
+	l.gate.RLock()
+	defer l.gate.RUnlock()
+	if _, err := l.appendDurable(r); err != nil {
+		return err
+	}
+	if apply != nil {
+		return apply()
+	}
+	return nil
+}
+
+func (l *Log) appendDurable(r Record) (uint64, error) {
+	ch, lsn, err := l.enqueue(r)
+	if err != nil {
+		return 0, err
+	}
+	if err := <-ch; err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// enqueue assigns the record its LSN, writes its frame into the active
+// segment and parks a waiter for the next fsync.
+func (l *Log) enqueue(r Record) (chan error, uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, 0, fmt.Errorf("wal: log closed")
+	}
+	if l.err != nil {
+		return nil, 0, fmt.Errorf("wal: log failed: %w", l.err)
+	}
+	r.LSN = l.nextLSN
+	payload, err := marshalRecord(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	frame := appendFrame(nil, payload)
+	if l.segBytes > 0 && l.segBytes+int64(len(frame)) > l.segLimit {
+		if err := l.rotateLocked(); err != nil {
+			l.err = err
+			return nil, 0, err
+		}
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		// The segment may now hold a torn frame; recovery will cut it.
+		l.err = fmt.Errorf("wal: write: %w", err)
+		return nil, 0, l.err
+	}
+	l.nextLSN++
+	l.segBytes += int64(len(frame))
+	l.met.ObserveAppend()
+	ch := make(chan error, 1)
+	l.waiters = append(l.waiters, ch)
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+	return ch, r.LSN, nil
+}
+
+// rotateLocked seals the active segment (fsync, retire its waiters,
+// close) and opens a fresh one named after the next LSN. Called with
+// l.mu held.
+func (l *Log) rotateLocked() error {
+	start := time.Now()
+	err := l.f.Sync()
+	if len(l.waiters) > 0 {
+		l.met.ObserveFsync(time.Since(start), len(l.waiters))
+		for _, ch := range l.waiters {
+			ch <- err
+		}
+		l.waiters = nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: rotate sync: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate close: %w", err)
+	}
+	name := segmentName(l.nextLSN)
+	f, err := l.fs.OpenFile(filepath.Join(l.dir, name), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: rotate open: %w", err)
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: rotate sync dir: %w", err)
+	}
+	l.f, l.segName, l.segBytes = f, name, 0
+	return nil
+}
+
+// syncer is the single goroutine that retires parked appenders: one
+// fsync per batch, optionally after the group-commit window.
+func (l *Log) syncer() {
+	defer close(l.done)
+	for {
+		select {
+		case <-l.kick:
+			if l.window > 0 {
+				t := time.NewTimer(l.window)
+				select {
+				case <-t.C:
+				case <-l.stop:
+					t.Stop()
+				}
+			}
+			l.flushBatch()
+		case <-l.stop:
+			l.flushBatch()
+			return
+		}
+	}
+}
+
+// flushBatch fsyncs the active segment and releases every parked waiter.
+// Holding l.mu across the Sync is deliberate: appenders arriving during
+// the fsync park behind the mutex and form the next batch — that queue
+// IS the group commit.
+func (l *Log) flushBatch() {
+	l.mu.Lock()
+	if len(l.waiters) == 0 {
+		l.mu.Unlock()
+		return
+	}
+	start := time.Now()
+	err := l.f.Sync()
+	l.met.ObserveFsync(time.Since(start), len(l.waiters))
+	if err != nil && l.err == nil {
+		l.err = fmt.Errorf("wal: fsync: %w", err)
+	}
+	batch := l.waiters
+	l.waiters = nil
+	l.mu.Unlock()
+	for _, ch := range batch {
+		ch <- err
+	}
+}
+
+// Sync forces any buffered records to stable storage now, regardless of
+// the group-commit window.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: log closed")
+	}
+	start := time.Now()
+	err := l.f.Sync()
+	if len(l.waiters) > 0 {
+		l.met.ObserveFsync(time.Since(start), len(l.waiters))
+	}
+	batch := l.waiters
+	l.waiters = nil
+	if err != nil && l.err == nil {
+		l.err = fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.mu.Unlock()
+	for _, ch := range batch {
+		ch <- err
+	}
+	return err
+}
+
+// Close flushes outstanding records, stops the syncer and closes the
+// active segment. The log is unusable afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.stop)
+	<-l.done
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats reports the log's position.
+type Stats struct {
+	NextLSN       uint64 // LSN the next append will get
+	CheckpointLSN uint64 // redo low-water mark (0 = no checkpoint)
+	Segment       string // active segment file name
+	SegmentBytes  int64  // bytes in the active segment
+}
+
+// Stats returns the current log position.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		NextLSN:       l.nextLSN,
+		CheckpointLSN: l.ckptLSN,
+		Segment:       l.segName,
+		SegmentBytes:  l.segBytes,
+	}
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }

@@ -1,0 +1,345 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"nestedtx/internal/adt"
+	"nestedtx/internal/obs"
+)
+
+// harness appends commit records against a shadow state so logged values
+// always match what redo will produce.
+type harness struct {
+	t      *testing.T
+	lg     *Log
+	states map[string]adt.State
+	n      int64
+}
+
+func newHarness(t *testing.T, lg *Log) *harness {
+	return &harness{t: t, lg: lg, states: make(map[string]adt.State)}
+}
+
+func (h *harness) register(name string, init adt.State) {
+	h.t.Helper()
+	if _, err := h.lg.Append(Record{Register: &RegisterRecord{Name: name, Initial: init}}); err != nil {
+		h.t.Fatalf("register %s: %v", name, err)
+	}
+	h.states[name] = init
+}
+
+// commit appends one single-effect commit record applying op to obj.
+func (h *harness) commit(obj string, op adt.Op) {
+	h.t.Helper()
+	next, v := op.Apply(h.states[obj])
+	h.states[obj] = next
+	h.n++
+	rec := Record{Commit: &CommitRecord{
+		TID:     "T0.0",
+		Value:   int64(1),
+		Effects: []Effect{{Obj: obj, Op: op, Val: v}},
+	}}
+	if _, err := h.lg.Append(rec); err != nil {
+		h.t.Fatalf("commit %d: %v", h.n, err)
+	}
+}
+
+func mustOpen(t *testing.T, fs FS, dir string, opts Options) (*Log, *Recovery) {
+	t.Helper()
+	opts.FS = fs
+	lg, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return lg, rec
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	lg, rec := mustOpen(t, fs, "d", Options{})
+	if got := len(rec.Records); got != 0 {
+		t.Fatalf("fresh dir recovered %d records", got)
+	}
+	h := newHarness(t, lg)
+	h.register("ctr", adt.Counter{})
+	h.register("reg", adt.NewRegister(int64(0)))
+	for i := 0; i < 10; i++ {
+		h.commit("ctr", adt.CtrAdd{Delta: 1})
+		h.commit("reg", adt.RegWrite{V: int64(i)})
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	lg2, rec2 := mustOpen(t, fs, "d", Options{})
+	defer lg2.Close()
+	if got := len(rec2.Records); got != 22 {
+		t.Fatalf("recovered %d records, want 22", got)
+	}
+	if rec2.NextLSN != 22 {
+		t.Fatalf("NextLSN = %d, want 22", rec2.NextLSN)
+	}
+	if !reflect.DeepEqual(rec2.States(), h.states) {
+		t.Fatalf("states = %v, want %v", rec2.States(), h.states)
+	}
+	if err := rec2.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	fs := NewMemFS()
+	lg, _ := mustOpen(t, fs, "d", Options{})
+	h := newHarness(t, lg)
+	h.register("ctr", adt.Counter{})
+	for i := 0; i < 5; i++ {
+		h.commit("ctr", adt.CtrAdd{Delta: 2})
+	}
+	stats := lg.Stats()
+	lg.Close()
+
+	// Simulate a torn final write: half a frame of garbage on the tail.
+	f, err := fs.OpenFile(filepath.Join("d", stats.Segment), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("137 deadbeef\n{\"lsn\":6,\"k\":\"com"))
+	f.Close()
+
+	lg2, rec := mustOpen(t, fs, "d", Options{})
+	if len(rec.Records) != 6 {
+		t.Fatalf("recovered %d records, want 6", len(rec.Records))
+	}
+	if rec.TornBytes == 0 {
+		t.Fatalf("TornBytes = 0, want > 0")
+	}
+	if err := rec.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// The truncation is physical: a third scan sees a clean log.
+	lg2.Close()
+	_, rec3 := mustOpen(t, fs, "d", Options{})
+	if rec3.TornBytes != 0 || len(rec3.Records) != 6 {
+		t.Fatalf("after truncation: torn=%d records=%d, want 0/6", rec3.TornBytes, len(rec3.Records))
+	}
+}
+
+func TestBadCRCTruncatesAndDropsLaterSegments(t *testing.T) {
+	fs := NewMemFS()
+	lg, _ := mustOpen(t, fs, "d", Options{SegmentBytes: 256})
+	h := newHarness(t, lg)
+	h.register("ctr", adt.Counter{})
+	for i := 0; i < 20; i++ {
+		h.commit("ctr", adt.CtrAdd{Delta: 1})
+	}
+	lg.Close()
+
+	segs, _ := fs.ReadDir("d")
+	if len(segs) < 3 {
+		t.Fatalf("want >= 3 segments, got %v", segs)
+	}
+	// Flip a byte mid-way through the second segment.
+	second := segs[1]
+	size, _ := fs.Size(filepath.Join("d", second))
+	if err := fs.Corrupt(filepath.Join("d", second), size/2); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := mustOpen(t, fs, "d", Options{SegmentBytes: 256})
+	if len(rec.Records) >= 21 {
+		t.Fatalf("corruption not detected: %d records", len(rec.Records))
+	}
+	if len(rec.Dropped) == 0 {
+		t.Fatalf("later segments not dropped")
+	}
+	// The surviving prefix still verifies, and its redo matches a counter
+	// incremented once per surviving commit.
+	if err := rec.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	commits := 0
+	for _, r := range rec.Records {
+		if r.Commit != nil {
+			commits++
+		}
+	}
+	if got := rec.States()["ctr"].(adt.Counter).N; got != int64(commits) {
+		t.Fatalf("ctr = %d, want %d", got, commits)
+	}
+}
+
+func TestCheckpointTruncatesSegments(t *testing.T) {
+	fs := NewMemFS()
+	met := &obs.Metrics{}
+	lg, _ := mustOpen(t, fs, "d", Options{Metrics: met})
+	h := newHarness(t, lg)
+	h.register("ctr", adt.Counter{})
+	for i := 0; i < 8; i++ {
+		h.commit("ctr", adt.CtrAdd{Delta: 1})
+	}
+	if err := lg.Checkpoint(func() map[string]adt.State {
+		return map[string]adt.State{"ctr": h.states["ctr"]}
+	}); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		h.commit("ctr", adt.CtrAdd{Delta: 1})
+	}
+	lg.Close()
+
+	if got := met.WalCheckpoints.Load(); got != 1 {
+		t.Fatalf("checkpoint counter = %d, want 1", got)
+	}
+	if got := met.WalCheckpointLSN.Load(); got != 9 {
+		t.Fatalf("checkpoint LSN gauge = %d, want 9", got)
+	}
+
+	_, rec := mustOpen(t, fs, "d", Options{})
+	if rec.CheckpointLSN != 9 {
+		t.Fatalf("CheckpointLSN = %d, want 9", rec.CheckpointLSN)
+	}
+	if len(rec.Records) != 3 {
+		t.Fatalf("recovered %d post-checkpoint records, want 3", len(rec.Records))
+	}
+	if got := rec.States()["ctr"].(adt.Counter).N; got != 11 {
+		t.Fatalf("ctr = %d, want 11", got)
+	}
+	if err := rec.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestSegmentRotationRecoversAll(t *testing.T) {
+	fs := NewMemFS()
+	lg, _ := mustOpen(t, fs, "d", Options{SegmentBytes: 200})
+	h := newHarness(t, lg)
+	h.register("ctr", adt.Counter{})
+	for i := 0; i < 30; i++ {
+		h.commit("ctr", adt.CtrAdd{Delta: 1})
+	}
+	lg.Close()
+	segs, _ := fs.ReadDir("d")
+	if len(segs) < 4 {
+		t.Fatalf("rotation produced only %d files: %v", len(segs), segs)
+	}
+	_, rec := mustOpen(t, fs, "d", Options{SegmentBytes: 200})
+	if len(rec.Records) != 31 {
+		t.Fatalf("recovered %d records, want 31", len(rec.Records))
+	}
+	if got := rec.States()["ctr"].(adt.Counter).N; got != 30 {
+		t.Fatalf("ctr = %d, want 30", got)
+	}
+}
+
+func TestAppendErrorFailsNotAcks(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	lg, _ := mustOpen(t, ffs, "d", Options{})
+	h := newHarness(t, lg)
+	h.register("ctr", adt.Counter{})
+	h.commit("ctr", adt.CtrAdd{Delta: 1})
+
+	ffs.FailAfter(0)
+	_, err := lg.Append(Record{Commit: &CommitRecord{TID: "T0.9", Value: int64(1),
+		Effects: []Effect{{Obj: "ctr", Op: adt.CtrAdd{Delta: 1}, Val: int64(2)}}}})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("append past fault: err = %v, want ErrInjected", err)
+	}
+	// The log is latched broken: later appends fail fast too.
+	if _, err := lg.Append(Record{Register: &RegisterRecord{Name: "x", Initial: adt.Counter{}}}); err == nil {
+		t.Fatalf("append after latched failure succeeded")
+	}
+	lg.Close()
+
+	// Recovery sees only the acknowledged prefix.
+	_, rec := mustOpen(t, mem, "d", Options{})
+	if got := rec.States()["ctr"].(adt.Counter).N; got != 1 {
+		t.Fatalf("ctr = %d, want 1 (unacked append must not replay)", got)
+	}
+	if err := rec.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	fs := NewMemFS()
+	met := &obs.Metrics{}
+	lg, _ := mustOpen(t, fs, "d", Options{SyncWindow: 2 * time.Millisecond, Metrics: met})
+	if _, err := lg.Append(Record{Register: &RegisterRecord{Name: "reg", Initial: adt.NewRegister(int64(0))}}); err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				// Value intentionally unchecked by redo here? No — redo
+				// verifies values, so use a blind write whose value is
+				// its own operand.
+				v := int64(w*per + i)
+				rec := Record{Commit: &CommitRecord{TID: "T0.1", Value: v,
+					Effects: []Effect{{Obj: "reg", Op: adt.RegWrite{V: v}, Val: v}}}}
+				if _, err := lg.Append(rec); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	lg.Close()
+	appends, fsyncs := met.WalAppends.Load(), met.WalFsyncs.Load()
+	if appends != writers*per+1 {
+		t.Fatalf("appends = %d, want %d", appends, writers*per+1)
+	}
+	if fsyncs >= appends {
+		t.Fatalf("no batching: %d fsyncs for %d appends", fsyncs, appends)
+	}
+	if met.WalMaxBatch.Load() < 2 {
+		t.Fatalf("max batch = %d, want >= 2", met.WalMaxBatch.Load())
+	}
+	// Concurrent blind writes commute on the automaton only in log
+	// order; recovery must accept whatever order the log serialised.
+	_, rec := mustOpen(t, fs, "d", Options{})
+	if err := rec.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestInspectIsReadOnly(t *testing.T) {
+	fs := NewMemFS()
+	lg, _ := mustOpen(t, fs, "d", Options{})
+	h := newHarness(t, lg)
+	h.register("ctr", adt.Counter{})
+	h.commit("ctr", adt.CtrAdd{Delta: 1})
+	stats := lg.Stats()
+	lg.Close()
+
+	f, _ := fs.OpenFile(filepath.Join("d", stats.Segment), os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte("torn"))
+	f.Close()
+	before, _ := fs.Size(filepath.Join("d", stats.Segment))
+
+	rec, err := Inspect("d", fs)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if rec.TornBytes == 0 || len(rec.Records) != 2 {
+		t.Fatalf("inspect: torn=%d records=%d", rec.TornBytes, len(rec.Records))
+	}
+	after, _ := fs.Size(filepath.Join("d", stats.Segment))
+	if before != after {
+		t.Fatalf("Inspect mutated the segment: %d -> %d bytes", before, after)
+	}
+	if err := rec.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}

@@ -30,9 +30,17 @@ import (
 	"nestedtx/internal/adt"
 )
 
-// MaxFrameSize bounds a single frame's payload; frames advertising more
-// are rejected without reading them.
+// MaxFrameSize bounds a single request frame's payload; frames
+// advertising more are rejected without reading them.
 const MaxFrameSize = 1 << 20
+
+// MaxResponseSize bounds a single response frame's payload. Responses get
+// a higher ceiling than requests because a STATE snapshot of a large
+// object (a Table with many keys, say) can legitimately exceed the
+// request limit; the server answers anything bigger still with a
+// [CodeTooLarge] error instead of killing the session, and clients read
+// response frames with this limit.
+const MaxResponseSize = 8 << 20
 
 // Request types. Each carries the fields noted; unused fields are
 // omitted from the JSON.
@@ -58,6 +66,7 @@ const (
 	CodeShutdown   = "shutdown"    // the server is draining
 	CodeUnknownTx  = "unknown_tx"  // no such transaction handle on this session
 	CodeBadRequest = "bad_request" // malformed or ill-sequenced request
+	CodeTooLarge   = "too_large"   // the response would exceed MaxResponseSize; session stays usable
 	CodeInternal   = "internal"    // server-side failure
 )
 
@@ -158,6 +167,14 @@ type Metrics struct {
 	QueuedWaiters    int64 `json:"queued_waiters"`
 	ContendedObjects int64 `json:"contended_objects"`
 
+	// Durability block; all-zero on a non-durable server.
+	FsyncLatency     HistQ  `json:"fsync_latency,omitzero"`
+	WalAppends       uint64 `json:"wal_appends,omitempty"`
+	WalFsyncs        uint64 `json:"wal_fsyncs,omitempty"`
+	WalMaxBatch      uint64 `json:"wal_max_batch,omitempty"`
+	WalCheckpoints   uint64 `json:"wal_checkpoints,omitempty"`
+	WalCheckpointLSN uint64 `json:"wal_checkpoint_lsn,omitempty"`
+
 	TraceDropped uint64       `json:"trace_dropped,omitempty"` // ring overwrites since start
 	Trace        []TraceEntry `json:"trace,omitempty"`
 }
@@ -180,14 +197,22 @@ func EncodeState(s adt.State) (json.RawMessage, error) { return adt.EncodeState(
 // DecodeState reverses EncodeState.
 func DecodeState(raw json.RawMessage) (adt.State, error) { return adt.DecodeState(raw) }
 
-// WriteFrame writes v as one length-prefixed frame and flushes.
+// WriteFrame writes v as one length-prefixed frame and flushes, applying
+// the request-side limit. Servers writing responses use [WriteFrameMax]
+// with [MaxResponseSize].
 func WriteFrame(w *bufio.Writer, v any) error {
+	return WriteFrameMax(w, v, MaxFrameSize)
+}
+
+// WriteFrameMax writes v as one length-prefixed frame and flushes,
+// rejecting payloads over max bytes.
+func WriteFrameMax(w *bufio.Writer, v any, max int) error {
 	payload, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("wire: marshal frame: %w", err)
 	}
-	if len(payload) > MaxFrameSize {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(payload), MaxFrameSize)
+	if len(payload) > max {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(payload), max)
 	}
 	if _, err := fmt.Fprintf(w, "%d\n", len(payload)); err != nil {
 		return err
@@ -201,9 +226,17 @@ func WriteFrame(w *bufio.Writer, v any) error {
 	return w.Flush()
 }
 
-// ReadFrame reads one frame's payload into v. It returns io.EOF (exactly)
-// on a clean end of stream before any byte of a frame.
+// ReadFrame reads one frame's payload into v, applying the request-side
+// limit. It returns io.EOF (exactly) on a clean end of stream before any
+// byte of a frame. Clients reading responses use [ReadFrameMax] with
+// [MaxResponseSize].
 func ReadFrame(r *bufio.Reader, v any) error {
+	return ReadFrameMax(r, v, MaxFrameSize)
+}
+
+// ReadFrameMax reads one frame's payload into v, rejecting frames that
+// advertise more than max bytes without reading their body.
+func ReadFrameMax(r *bufio.Reader, v any, max int) error {
 	header, err := r.ReadString('\n')
 	if err != nil {
 		if err == io.EOF && header == "" {
@@ -215,8 +248,8 @@ func ReadFrame(r *bufio.Reader, v any) error {
 	if err != nil || n < 0 {
 		return fmt.Errorf("wire: bad frame length %q", strings.TrimSpace(header))
 	}
-	if n > MaxFrameSize {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrameSize)
+	if n > max {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, max)
 	}
 	buf := make([]byte, n+1) // payload + trailing newline
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -240,10 +273,10 @@ func ReadRequest(r *bufio.Reader) (*Request, error) {
 	return &req, nil
 }
 
-// ReadResponse reads one Response frame.
+// ReadResponse reads one Response frame (response-side size limit).
 func ReadResponse(r *bufio.Reader) (*Response, error) {
 	var resp Response
-	if err := ReadFrame(r, &resp); err != nil {
+	if err := ReadFrameMax(r, &resp, MaxResponseSize); err != nil {
 		return nil, err
 	}
 	return &resp, nil

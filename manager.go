@@ -13,6 +13,7 @@ import (
 	"nestedtx/internal/lockmgr"
 	"nestedtx/internal/obs"
 	"nestedtx/internal/tree"
+	"nestedtx/internal/wal"
 )
 
 // ErrDeadlock is returned by an access when its transaction was chosen as
@@ -66,6 +67,10 @@ type Manager struct {
 	rec  *event.Recorder
 	mode core.Mode
 	met  *obs.Metrics
+	// wal, when non-nil, makes the manager durable: every top-level
+	// commit appends its redo record and waits for the fsync before its
+	// locks are released (see OpenDurable).
+	wal *wal.Log
 
 	mu      sync.Mutex
 	st      *event.SystemType
@@ -104,8 +109,25 @@ func NewManager(opts ...Option) *Manager {
 }
 
 // Register declares a shared object. It must be called before any
-// transaction touches the object.
+// transaction touches the object. On a durable manager the registration
+// is itself logged (so recovery is self-contained), which restricts
+// initial states to the library's serialisable types.
 func (m *Manager) Register(name string, initial State) error {
+	if m.wal != nil {
+		if m.lm.Registered(name) {
+			return fmt.Errorf("nestedtx: object %q already registered", name)
+		}
+		rec := wal.Record{Register: &wal.RegisterRecord{Name: name, Initial: initial}}
+		return m.wal.AppendApply(rec, func() error {
+			return m.adopt(name, initial)
+		})
+	}
+	return m.adopt(name, initial)
+}
+
+// adopt installs an object into the system type and lock manager without
+// logging (shared by Register and OpenDurable's recovery path).
+func (m *Manager) adopt(name string, initial State) error {
 	m.mu.Lock()
 	m.st.DefineObject(name, initial)
 	m.mu.Unlock()
@@ -182,10 +204,37 @@ func (m *Manager) runTx(id tree.TID, fn func(*Tx) error) error {
 		m.met.Trace(event.Abort.String(), string(id), "", d)
 		return err
 	}
+	return m.commitTop(id, tx, start)
+}
+
+// commitTop runs the top-level commit sequence shared by runTx and
+// RunCtx. On a durable manager the redo record is appended and fsynced
+// *before* the lock manager releases the transaction's locks: strict
+// locking then guarantees that any conflicting successor is granted (and
+// so logged) after us, making WAL order agree with the per-object
+// conflict order — the property recovery's Theorem-34 check relies on.
+// A failed append aborts the transaction instead of committing it: no
+// acknowledged commit is ever absent from the log.
+func (m *Manager) commitTop(id tree.TID, tx *Tx, start time.Time) error {
 	v := tx.result()
-	m.rec.Record(event.Event{Kind: event.RequestCommit, T: id, Value: v})
-	m.met.Trace(event.RequestCommit.String(), string(id), "", 0)
-	m.lm.Commit(id, v)
+	apply := func() error {
+		m.rec.Record(event.Event{Kind: event.RequestCommit, T: id, Value: v})
+		m.met.Trace(event.RequestCommit.String(), string(id), "", 0)
+		m.lm.Commit(id, v)
+		return nil
+	}
+	if m.wal != nil {
+		rec := wal.Record{Commit: &wal.CommitRecord{TID: string(id), Value: v, Effects: tx.takeEffects()}}
+		if err := m.wal.AppendApply(rec, apply); err != nil {
+			m.lm.Abort(id)
+			d := time.Since(start)
+			m.met.ObserveTx(d, false)
+			m.met.Trace(event.Abort.String(), string(id), "", d)
+			return fmt.Errorf("nestedtx: durable commit of %s: %w", id, err)
+		}
+	} else {
+		apply()
+	}
 	d := time.Since(start)
 	m.met.ObserveTx(d, true)
 	m.met.Trace(event.Commit.String(), string(id), "", d)

@@ -10,6 +10,7 @@ import (
 
 	"nestedtx/internal/event"
 	"nestedtx/internal/tree"
+	"nestedtx/internal/wal"
 )
 
 // Tx is a live transaction. A Tx is created by [Manager.Run], [Tx.Sub] or
@@ -33,6 +34,11 @@ type Tx struct {
 	aborted   bool
 	value     Value // optional user result, set by Return
 	committed int64 // committed children count (default commit value)
+	// effects accumulates the transaction's surviving accesses (its own
+	// plus those inherited from committed children, in commit order) for
+	// the WAL redo record. Only maintained on durable managers; an
+	// aborted subtree's effects are simply dropped with the subtree.
+	effects []wal.Effect
 }
 
 // ID returns the transaction's name in the paper's tree notation (e.g.
@@ -112,6 +118,9 @@ func (tx *Tx) Do(obj string, op Op) (Value, error) {
 	}
 	tx.mu.Lock()
 	tx.committed++
+	if tx.mgr.wal != nil {
+		tx.effects = append(tx.effects, wal.Effect{Obj: obj, Op: op, Val: v})
+	}
 	tx.mu.Unlock()
 	return v, nil
 }
@@ -262,6 +271,16 @@ func (tx *Tx) runChild(c tree.TID, fn func(*Tx) error) error {
 		return err
 	}
 	v := child.result()
+	if tx.mgr.wal != nil {
+		// Inherit the child's surviving effects *before* releasing its
+		// locks: once lm.Commit runs, a conflicting sibling access can be
+		// granted and appended after us, so merging first is what keeps
+		// the parent's effect order aligned with the per-object grant
+		// order (the WAL's serial-correctness argument rests on this).
+		tx.mu.Lock()
+		tx.effects = append(tx.effects, child.effects...)
+		tx.mu.Unlock()
+	}
 	tx.mgr.rec.Record(event.Event{Kind: event.RequestCommit, T: c, Value: v})
 	tx.mgr.lm.Commit(c, v)
 	tx.mgr.met.Trace(event.Commit.String(), string(c), "", time.Since(start))
@@ -269,6 +288,16 @@ func (tx *Tx) runChild(c tree.TID, fn func(*Tx) error) error {
 	tx.committed++
 	tx.mu.Unlock()
 	return nil
+}
+
+// takeEffects transfers ownership of the accumulated effect list to the
+// caller (the top-level durable commit).
+func (tx *Tx) takeEffects() []wal.Effect {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	e := tx.effects
+	tx.effects = nil
+	return e
 }
 
 // execute runs the body, waits for spawned subtransactions, and leaves the
