@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-short chaos crash fuzz fuzz-short metrics-smoke clean
+.PHONY: all build vet test race bench bench-short chaos crash repl fuzz fuzz-short metrics-smoke clean
 
 all: build test
 
@@ -47,6 +47,15 @@ crash: vet
 	$(GO) test -race ./internal/wal
 	$(GO) test -race -run CrashRecoverySeeds .
 	$(GO) test -race -run 'DrainDurability|LargeState|OversizeState' ./internal/server
+
+# Replication suite under the race detector: the repl unit tests
+# (shipper/follower/snapshot bootstrap) and the server-level e2e —
+# replica reads + read-only rejection, promotion, the partition-chaos
+# failover acceptance test, mid-catch-up follower restart, and replica
+# pool routing/failover.
+repl: vet
+	$(GO) test -race ./internal/repl
+	$(GO) test -race -run 'TestReplica|TestPromote|TestControlledFailover|TestFollowerRestart' ./internal/server
 
 fuzz:
 	$(GO) test -fuzz FuzzTheorem34 -fuzztime 30s ./internal/checker

@@ -65,6 +65,12 @@ var ErrConnLost = errors.New("client: connection lost")
 // transport faults — e.g. an OK STATS response missing its payload.
 var ErrMalformed = errors.New("client: malformed server response")
 
+// ErrReadOnly is wrapped by rejections from a read replica: the server
+// is a replication follower and takes no transactions. Writes (and
+// locked reads) must go to the leader — [ReplicaPool] reroutes them and
+// uses this sentinel to trigger failover probing.
+var ErrReadOnly = errors.New("client: server is a read-only replica")
+
 // Option configures Dial.
 type Option func(*Client)
 
@@ -194,6 +200,8 @@ func respErr(resp *wire.Response) error {
 		return fmt.Errorf("client: %s: %w", resp.Err, nestedtx.ErrAborted)
 	case wire.CodeTimeout:
 		return fmt.Errorf("%w: %s", ErrTimeout, resp.Err)
+	case wire.CodeReadOnly:
+		return fmt.Errorf("%w: %s", ErrReadOnly, resp.Err)
 	default:
 		return &Error{Code: resp.Code, Msg: resp.Err}
 	}
@@ -253,6 +261,37 @@ func (c *Client) Metrics(dump bool) (wire.Metrics, error) {
 		return wire.Metrics{}, fmt.Errorf("%w: OK METRICS response without metrics payload", ErrMalformed)
 	}
 	return *resp.Metrics, nil
+}
+
+// ReplStatus fetches the server's replication role and positions: lag
+// and leader address on a follower, per-follower ack positions on a
+// leader. A server with no replication configured (volatile manager)
+// answers with an error.
+func (c *Client) ReplStatus() (*wire.ReplStatus, error) {
+	resp, err := c.call(&wire.Request{Type: wire.TReplStatus})
+	if err != nil {
+		return nil, err
+	}
+	if err := respErr(resp); err != nil {
+		return nil, err
+	}
+	if resp.ReplStatus == nil {
+		return nil, fmt.Errorf("%w: OK REPL_STATUS response without payload", ErrMalformed)
+	}
+	return resp.ReplStatus, nil
+}
+
+// Promote asks a follower server to promote itself to leader: it stops
+// streaming, recovers its replicated WAL, re-verifies the inherited
+// history against the Theorem-34 checker, and starts accepting writes.
+// Fails on a server that is not a follower, and on a follower whose
+// inherited history does not verify.
+func (c *Client) Promote() error {
+	resp, err := c.call(&wire.Request{Type: wire.TPromote})
+	if err != nil {
+		return err
+	}
+	return respErr(resp)
 }
 
 // CallStats summarises this client's request round-trip latencies, as

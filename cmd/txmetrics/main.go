@@ -69,12 +69,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("METRICS: %v", err)
 	}
+	// Replication is optional: a server without it answers REPL_STATUS
+	// with a wire error, which we simply leave out of the report.
+	replStatus, _ := c.ReplStatus()
 
 	if *asJSON {
 		out := struct {
-			Stats   wire.Stats   `json:"stats"`
-			Metrics wire.Metrics `json:"metrics"`
-		}{stats, met}
+			Stats   wire.Stats       `json:"stats"`
+			Metrics wire.Metrics     `json:"metrics"`
+			Repl    *wire.ReplStatus `json:"repl,omitempty"`
+		}{stats, met, replStatus}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -104,6 +108,27 @@ func main() {
 			float64(met.WalFsyncs)/float64(met.WalAppends),
 			met.WalMaxBatch, met.WalCheckpoints, met.WalCheckpointLSN)
 		printHist("fsync latency", met.FsyncLatency)
+	}
+	if rs := replStatus; rs != nil {
+		switch rs.Role {
+		case "leader":
+			fmt.Printf("  repl           role=leader next-lsn=%d durable-lsn=%d followers=%d\n",
+				rs.NextLSN, rs.DurableLSN, len(rs.Followers))
+			for _, fo := range rs.Followers {
+				fmt.Printf("    follower     %s ack-lsn=%d lag=%d records %.3fs\n",
+					fo.Remote, fo.AckLSN, fo.LagRecords, fo.LagSeconds)
+			}
+		case "follower":
+			fmt.Printf("  repl           role=follower leader=%s connected=%v next-lsn=%d lag=%d records %.3fs\n",
+				rs.Leader, rs.Connected, rs.NextLSN, rs.LagRecords, rs.LagSeconds)
+		}
+	}
+	if met.ReplBatches > 0 || met.ReplBatchesApplied > 0 {
+		fmt.Printf("  repl metrics   shipped: batches=%d records=%d acks=%d | applied: batches=%d records=%d | followers=%d lag=%d records %.3fs\n",
+			met.ReplBatches, met.ReplRecordsShipped, met.ReplAcks,
+			met.ReplBatchesApplied, met.ReplRecordsApplied,
+			met.ReplFollowers, met.ReplLagRecords, met.ReplLagSeconds)
+		printHist("ship latency", met.ShipLatency)
 	}
 
 	if *dump {

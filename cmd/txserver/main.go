@@ -7,7 +7,7 @@
 //	txserver [-addr :7654] [-objects spec] [-max-conns N]
 //	         [-idle-timeout D] [-req-timeout D] [-exclusive] [-record]
 //	         [-trace N] [-metrics-every D] [-pprof addr] [-chaos]
-//	         [-data-dir dir] [-sync-window D]
+//	         [-data-dir dir] [-sync-window D] [-follow leader:port]
 //
 // With -data-dir the server is durable: every top-level commit is
 // write-ahead logged and fsynced (group-committed within -sync-window)
@@ -19,6 +19,27 @@
 // self-test: the log is reopened as a cold process would, the recovered
 // history is machine-checked (Theorem 34 across the restart), and the
 // recovered states are compared against the live ones.
+//
+// With -follow the server is a read replica instead: -data-dir (still
+// required) is kept in sync by streaming the leader's WAL over the wire
+// protocol (REPL_HELLO catch-up negotiation, checksummed REPL_BATCH
+// frames, snapshot bootstrap when the leader has checkpointed past this
+// replica). The replica serves committed-to-root reads (STATE), reports
+// its lag (REPL_STATUS, METRICS), and refuses every transaction verb
+// with the read_only wire error. Sending the process SIGUSR1 — or the
+// PROMOTE wire verb — promotes it: replication stops, the inherited
+// directory is recovered and the whole history re-verified with the
+// full machine check (Theorem 34 across the failover), and only then
+// does the server start accepting writes as a new leader, itself
+// shippable to further replicas. A durable leader needs no flag to
+// serve replicas: any durable txserver accepts REPL_HELLO.
+//
+// A durable -chaos run additionally performs a replication self-test
+// before draining: it boots an in-process replica (in-memory WAL)
+// against the live server through a faultnet proxy, partitions and
+// heals the replication link mid-stream, waits for catch-up, then
+// promotes the replica — recovery plus full verification — and checks
+// the promoted states match the leader's exactly.
 //
 // Observability: metrics (latency histograms, outcome counters,
 // contention gauges) are always on and served to clients via the
@@ -66,7 +87,10 @@ import (
 	"nestedtx"
 	"nestedtx/client"
 	"nestedtx/internal/faultnet"
+	"nestedtx/internal/obs"
+	"nestedtx/internal/repl"
 	"nestedtx/internal/server"
+	"nestedtx/internal/wal"
 	"nestedtx/internal/wire"
 )
 
@@ -86,6 +110,7 @@ func main() {
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 		dataDir     = flag.String("data-dir", "", "write-ahead log directory: commits are durable and the directory is recovered on boot (empty = in-memory only)")
 		syncWindow  = flag.Duration("sync-window", 0, "group-commit window: concurrent commits within it share one fsync (needs -data-dir)")
+		follow      = flag.String("follow", "", "run as a read replica of this leader address (needs -data-dir); SIGUSR1 or the PROMOTE verb promotes")
 	)
 	flag.Parse()
 
@@ -98,6 +123,21 @@ func main() {
 	}
 	if *traceCap > 0 {
 		opts = append(opts, nestedtx.WithTracing(*traceCap))
+	}
+	if *follow != "" {
+		if *dataDir == "" {
+			log.Fatalf("txserver: -follow needs -data-dir (the replica keeps its own WAL)")
+		}
+		if *chaos {
+			log.Fatalf("txserver: -chaos drives writes and cannot run on a read replica")
+		}
+		runFollower(followerConfig{
+			leader: *follow, dataDir: *dataDir, syncWindow: *syncWindow,
+			promoteOpts: opts, addr: *addr, maxConns: *maxConns,
+			idleTimeout: *idleTimeout, reqTimeout: *reqTimeout,
+			metricsEvery: *metricsLog, pprofAddr: *pprofAddr, duration: *duration,
+		})
+		return
 	}
 	var mgr *nestedtx.Manager
 	if *dataDir != "" {
@@ -159,7 +199,7 @@ func main() {
 			tick := time.NewTicker(*metricsLog)
 			defer tick.Stop()
 			for range tick.C {
-				logMetrics(mgr)
+				logMetrics(mgr.Metrics())
 			}
 		}()
 	}
@@ -169,14 +209,19 @@ func main() {
 	signal.Notify(quitSig, syscall.SIGQUIT)
 	go func() {
 		for range quitSig {
-			logMetrics(mgr)
-			dumpTrace(mgr)
+			logMetrics(mgr.Metrics())
+			dumpTrace(mgr.Metrics())
 		}
 	}()
 
 	if *chaos {
 		if err := runChaos(mgr, srv); err != nil {
 			log.Fatalf("txserver: chaos self-test: %v", err)
+		}
+		if *dataDir != "" {
+			if err := runReplChaos(mgr, srv); err != nil {
+				log.Fatalf("txserver: replication self-test: %v", err)
+			}
 		}
 	} else if *duration > 0 {
 		select {
@@ -280,8 +325,8 @@ func ensure(m *nestedtx.Manager, name string, st nestedtx.State) error {
 
 // logMetrics prints a one-line latency/outcome summary of the live
 // metric set.
-func logMetrics(mgr *nestedtx.Manager) {
-	s := mgr.Metrics().Snapshot()
+func logMetrics(met *obs.Metrics) {
+	s := met.Snapshot()
 	log.Printf("txserver: metrics: tx p50=%v p99=%v max=%v commits=%d aborts=%d | op p50=%v p99=%v | lock-wait n=%d p99=%v victims=%d(deadlock=%d cancelled=%d) | queued=%d contended=%d",
 		s.TxLatency.Quantile(50), s.TxLatency.Quantile(99), s.TxLatency.Max,
 		s.TxCommits, s.TxAborts,
@@ -293,8 +338,8 @@ func logMetrics(mgr *nestedtx.Manager) {
 
 // dumpTrace logs the retained trace ring oldest-first (no-op without
 // -trace).
-func dumpTrace(mgr *nestedtx.Manager) {
-	tr := mgr.Metrics().Tracer
+func dumpTrace(met *obs.Metrics) {
+	tr := met.Tracer
 	entries := tr.Dump()
 	if len(entries) == 0 {
 		log.Printf("txserver: trace: empty (run with -trace N to enable)")
@@ -413,6 +458,259 @@ func runChaos(mgr *nestedtx.Manager, srv *server.Server) error {
 	ps := pool.Stats()
 	log.Printf("txserver: chaos self-test ok: %d commits (state matches), proxy accepted=%d cut=%d, pool redials=%d discarded=%d",
 		commits, accepted, cut, ps.Redials, ps.Discarded)
+	return nil
+}
+
+type followerConfig struct {
+	leader, dataDir, addr, pprofAddr    string
+	syncWindow, idleTimeout, reqTimeout time.Duration
+	metricsEvery, duration              time.Duration
+	maxConns                            int
+	promoteOpts                         []nestedtx.Option
+}
+
+// runFollower is the -follow mode: the data dir is kept in sync with the
+// leader's WAL over the wire, the server serves committed reads and
+// refuses transaction verbs, and SIGUSR1 (or the PROMOTE verb from any
+// client) promotes — recovery, full re-verification, then writes.
+func runFollower(cfg followerConfig) {
+	f, err := repl.OpenFollower(cfg.dataDir, wal.Options{SyncWindow: cfg.syncWindow})
+	if err != nil {
+		log.Fatalf("txserver: open replica %s: %v", cfg.dataDir, err)
+	}
+	log.Printf("txserver: replica of %s: recovered %s to lsn %d",
+		cfg.leader, cfg.dataDir, f.Status().NextLSN)
+	srv := server.New(nil, server.Config{
+		MaxConns:       cfg.maxConns,
+		IdleTimeout:    cfg.idleTimeout,
+		RequestTimeout: cfg.reqTimeout,
+		Follower:       f,
+		PromoteOptions: cfg.promoteOpts,
+	})
+	go func() {
+		if err := f.Run(cfg.leader); err != nil {
+			log.Printf("txserver: replication stopped: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(cfg.addr) }()
+	log.Printf("txserver: serving read-only replica on %s; SIGUSR1 (or PROMOTE) promotes", cfg.addr)
+
+	if cfg.pprofAddr != "" {
+		go func() {
+			log.Printf("txserver: pprof on http://%s/debug/pprof/", cfg.pprofAddr)
+			if err := http.ListenAndServe(cfg.pprofAddr, nil); err != nil {
+				log.Printf("txserver: pprof: %v", err)
+			}
+		}()
+	}
+	// liveMetrics follows the role: the follower's metric set until
+	// promotion, the promoted manager's after.
+	liveMetrics := func() *obs.Metrics {
+		if fo := srv.Follower(); fo != nil {
+			return fo.Metrics()
+		}
+		if m := srv.Manager(); m != nil {
+			return m.Metrics()
+		}
+		return &obs.Metrics{}
+	}
+	logReplica := func() {
+		logMetrics(liveMetrics())
+		if fo := srv.Follower(); fo != nil {
+			st := fo.Status()
+			log.Printf("txserver: replica: leader=%s connected=%v lsn=%d lag=%d records %.3fs",
+				st.Leader, st.Connected, st.NextLSN, st.LagRecords, st.LagSeconds)
+		}
+	}
+	if cfg.metricsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(cfg.metricsEvery)
+			defer tick.Stop()
+			for range tick.C {
+				logReplica()
+			}
+		}()
+	}
+	quitSig := make(chan os.Signal, 1)
+	signal.Notify(quitSig, syscall.SIGQUIT)
+	go func() {
+		for range quitSig {
+			logReplica()
+			dumpTrace(liveMetrics())
+		}
+	}()
+	usr := make(chan os.Signal, 1)
+	signal.Notify(usr, syscall.SIGUSR1)
+	go func() {
+		for range usr {
+			rec, err := srv.Promote()
+			if err != nil {
+				log.Printf("txserver: promote: %v", err)
+				continue
+			}
+			log.Printf("txserver: PROMOTED: %d objects, %d records re-verified (Theorem 34 across failover); accepting writes, shipping to replicas",
+				len(rec.States()), len(rec.Records))
+		}
+	}()
+
+	if cfg.duration > 0 {
+		select {
+		case <-stop:
+		case <-time.After(cfg.duration):
+		case err := <-done:
+			log.Fatalf("txserver: serve: %v", err)
+		}
+	} else {
+		select {
+		case <-stop:
+		case err := <-done:
+			log.Fatalf("txserver: serve: %v", err)
+		}
+	}
+	log.Printf("txserver: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("txserver: drain: %v", err)
+	}
+	if m := srv.Manager(); m != nil { // promoted during this run
+		if ws, ok := m.WalStats(); ok {
+			log.Printf("txserver: wal: next lsn %d, checkpoint lsn %d", ws.NextLSN, ws.CheckpointLSN)
+		}
+		if err := m.CloseWAL(); err != nil {
+			log.Fatalf("txserver: close wal: %v", err)
+		}
+	} else {
+		log.Printf("txserver: replica drained at lsn %d", f.Status().NextLSN)
+	}
+}
+
+// runReplChaos is the replication leg of -chaos on a durable server: an
+// in-process replica (in-memory WAL) follows the live server through a
+// faultnet proxy, survives a partition/heal of the replication link
+// mid-stream, drains to the leader's exact durable position, and is then
+// promoted over the wire — recovery plus the full machine check — with
+// the promoted states compared against the leader's. The leader is
+// checkpointed first, so the replica bootstraps over the snapshot path
+// and promotion re-verifies a bounded post-checkpoint suffix.
+func runReplChaos(mgr *nestedtx.Manager, srv *server.Server) error {
+	if err := mgr.Checkpoint(); err != nil {
+		return err
+	}
+	addr := srv.Addr()
+	if addr == nil {
+		return fmt.Errorf("server not listening")
+	}
+	px, err := faultnet.New(addr.String(), faultnet.Faults{}, 2)
+	if err != nil {
+		return err
+	}
+	defer px.Close()
+	f, err := repl.OpenFollower("replica", wal.Options{FS: wal.NewMemFS()})
+	if err != nil {
+		return err
+	}
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	fsrv := server.New(nil, server.Config{Follower: f})
+	go fsrv.Serve(fln)
+	go f.Run(px.Addr())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		fsrv.Shutdown(ctx)
+	}()
+	log.Printf("txserver: replication self-test: replica %s following through %s", fln.Addr(), px.Addr())
+
+	pool, err := client.NewPool(addr.String(), 4, client.WithTimeout(5*time.Second))
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	var wrote int64
+	for i := 0; i < 60; i++ {
+		switch i {
+		case 20:
+			px.Partition() // cut the stream mid-flight; writes continue
+		case 40:
+			px.Heal()
+		}
+		if err := pool.RunRetry(20, func(tx *client.Tx) error {
+			_, err := tx.Write("chaos_hot", nestedtx.CtrAdd{Delta: 1})
+			return err
+		}); err != nil {
+			return fmt.Errorf("write %d: %w", i, err)
+		}
+		wrote++
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The writes above are done (fence); drain the replica to the
+	// leader's exact durable position so promotion loses nothing.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ws, _ := mgr.WalStats()
+		if f.Status().NextLSN == ws.DurableLSN {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica never caught up: at lsn %d, leader durable %d",
+				f.Status().NextLSN, ws.DurableLSN)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	fc, err := client.Dial(fln.Addr().String(), client.WithTimeout(time.Minute))
+	if err != nil {
+		return err
+	}
+	defer fc.Close()
+	if err := fc.Promote(); err != nil {
+		return fmt.Errorf("promote: %w", err)
+	}
+
+	// The promoted universe must match the leader's exactly.
+	names := []string{"chaos_hot"}
+	for i := 0; i < chaosWorkers; i++ {
+		names = append(names, fmt.Sprintf("chaos%d", i))
+	}
+	for _, name := range names {
+		want, err := mgr.State(name)
+		if err != nil {
+			return err
+		}
+		got, err := fc.State(name)
+		if err != nil {
+			return fmt.Errorf("promoted replica missing %q: %w", name, err)
+		}
+		a, err := wire.EncodeState(got)
+		if err != nil {
+			return err
+		}
+		b, err := wire.EncodeState(want)
+		if err != nil {
+			return err
+		}
+		if string(a) != string(b) {
+			return fmt.Errorf("promoted %q = %s, leader has %s", name, a, b)
+		}
+	}
+	// And it takes writes.
+	if err := fc.Run(func(tx *client.Tx) error {
+		_, err := tx.Write("chaos_hot", nestedtx.CtrAdd{Delta: 1})
+		return err
+	}); err != nil {
+		return fmt.Errorf("write on promoted replica: %w", err)
+	}
+	accepted, cut := px.Stats()
+	log.Printf("txserver: replication self-test ok: %d writes replicated through a partition/heal (proxy accepted=%d cut=%d), promoted replica verified and writable",
+		wrote, accepted, cut)
 	return nil
 }
 

@@ -6,21 +6,35 @@
 //
 // Usage:
 //
-//	txwal info   [-json] dir    summarise segments, checkpoint, torn tail
-//	txwal dump   [-json] dir    print every recovered record
-//	txwal verify [-json] dir    machine-check the recovered history
+//	txwal info   [-json] dir                     summarise segments, checkpoint, torn tail
+//	txwal dump   [-json] dir                     print every recovered record
+//	txwal verify [-json] dir                     machine-check the recovered history
+//	txwal tail   [-json] [-follow] [-from-lsn N] dir
+//	                                             stream records in LSN order
 //
 // verify reconstructs the recovered history as a formal schedule and runs
 // the full checker pipeline — well-formedness, replay on the M(X)
 // automata with value verification, and serial correctness per
 // Theorem 34 — answering "would this directory recover, and would the
 // result be correct?" before a restart bets on it.
+//
+// tail reads records the way a replication follower does: it starts at
+// -from-lsn (default 0), stops cleanly at a frame still being written,
+// and with -follow keeps polling a live directory for new records as the
+// server appends them. If the wanted position has been checkpointed away
+// (the low-water mark moved past it), tail notes the gap on stderr and
+// resumes from the newest checkpoint — the same "records are gone,
+// restart from a snapshot" adjudication a follower makes.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"nestedtx/internal/adt"
 	"nestedtx/internal/wal"
@@ -28,17 +42,41 @@ import (
 
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: txwal {info|dump|verify} [-json] <dir>\n")
+	fmt.Fprintf(os.Stderr, "       txwal tail [-json] [-follow] [-from-lsn N] <dir>\n")
 }
 
 func main() {
-	// Hand-rolled so -json may come before or after the subcommand.
-	var jsonOut bool
+	// Hand-rolled so flags may come before or after the subcommand.
+	var jsonOut, follow bool
+	var fromLSN uint64
 	var pos []string
-	for _, a := range os.Args[1:] {
-		switch a {
-		case "-json", "--json":
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-json" || a == "--json":
 			jsonOut = true
-		case "-h", "-help", "--help":
+		case a == "-follow" || a == "--follow":
+			follow = true
+		case a == "-from-lsn" || a == "--from-lsn":
+			i++
+			if i >= len(args) {
+				usage()
+				os.Exit(2)
+			}
+			n, err := strconv.ParseUint(args[i], 10, 64)
+			if err != nil {
+				fatal("txwal: bad -from-lsn %q: %v", args[i], err)
+			}
+			fromLSN = n
+		case strings.HasPrefix(a, "-from-lsn=") || strings.HasPrefix(a, "--from-lsn="):
+			_, v, _ := strings.Cut(a, "=")
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				fatal("txwal: bad -from-lsn %q: %v", v, err)
+			}
+			fromLSN = n
+		case a == "-h" || a == "-help" || a == "--help":
 			usage()
 			os.Exit(0)
 		default:
@@ -51,6 +89,10 @@ func main() {
 	}
 	cmd, dir := pos[0], pos[1]
 
+	if cmd == "tail" {
+		tail(dir, fromLSN, follow, jsonOut)
+		return
+	}
 	rec, err := wal.Inspect(dir, nil)
 	if err != nil {
 		fatal("txwal: %v", err)
@@ -65,6 +107,44 @@ func main() {
 	default:
 		usage()
 		os.Exit(2)
+	}
+}
+
+// tail streams records from the directory in LSN order, exactly as a
+// replication follower reads them. Without -follow it drains what is
+// there and exits; with -follow it polls for more.
+func tail(dir string, from uint64, follow, jsonOut bool) {
+	tl := wal.NewTailer(dir, nil, from)
+	for {
+		recs, err := tl.Next(512, 1<<20)
+		if errors.Is(err, wal.ErrTruncated) {
+			// The wanted records were checkpointed away; resume from the
+			// newest checkpoint, the way a follower restarts from a
+			// leader snapshot.
+			rec, ierr := wal.Inspect(dir, nil)
+			if ierr != nil {
+				fatal("txwal: re-resolve after truncation: %v", ierr)
+			}
+			if rec.CheckpointLSN <= tl.NextLSN() {
+				fatal("txwal: lsn %d is below the log's low-water mark", tl.NextLSN())
+			}
+			fmt.Fprintf(os.Stderr, "txwal: lsn %d..%d checkpointed away; resuming at checkpoint lsn %d\n",
+				tl.NextLSN(), rec.CheckpointLSN-1, rec.CheckpointLSN)
+			tl = wal.NewTailer(dir, nil, rec.CheckpointLSN)
+			continue
+		}
+		if err != nil {
+			fatal("txwal: tail: %v", err)
+		}
+		for _, r := range recs {
+			printRecord(r, jsonOut)
+		}
+		if len(recs) == 0 {
+			if !follow {
+				return
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
 	}
 }
 
@@ -160,28 +240,32 @@ type recordJSON struct {
 
 func dump(rec *wal.Recovery, jsonOut bool) {
 	for _, r := range rec.Records {
-		switch {
-		case r.Commit != nil:
-			if jsonOut {
-				detail, _ := json.Marshal(r.Commit)
-				emit(recordJSON{LSN: r.LSN, Kind: "commit", TID: r.Commit.TID,
-					Effects: len(r.Commit.Effects), Detail: detail})
-				continue
-			}
-			fmt.Printf("%8d  COMMIT   %s  (%d effects)\n", r.LSN, r.Commit.TID, len(r.Commit.Effects))
-			for _, e := range r.Commit.Effects {
-				op, _ := adt.EncodeOp(e.Op)
-				fmt.Printf("          %-12s %s\n", e.Obj, op)
-			}
-		case r.Register != nil:
-			if jsonOut {
-				detail, _ := adt.EncodeState(r.Register.Initial)
-				emit(recordJSON{LSN: r.LSN, Kind: "register", Object: r.Register.Name, Detail: detail})
-				continue
-			}
-			st, _ := adt.EncodeState(r.Register.Initial)
-			fmt.Printf("%8d  REGISTER %s = %s\n", r.LSN, r.Register.Name, st)
+		printRecord(r, jsonOut)
+	}
+}
+
+func printRecord(r wal.Record, jsonOut bool) {
+	switch {
+	case r.Commit != nil:
+		if jsonOut {
+			detail, _ := json.Marshal(r.Commit)
+			emit(recordJSON{LSN: r.LSN, Kind: "commit", TID: r.Commit.TID,
+				Effects: len(r.Commit.Effects), Detail: detail})
+			return
 		}
+		fmt.Printf("%8d  COMMIT   %s  (%d effects)\n", r.LSN, r.Commit.TID, len(r.Commit.Effects))
+		for _, e := range r.Commit.Effects {
+			op, _ := adt.EncodeOp(e.Op)
+			fmt.Printf("          %-12s %s\n", e.Obj, op)
+		}
+	case r.Register != nil:
+		if jsonOut {
+			detail, _ := adt.EncodeState(r.Register.Initial)
+			emit(recordJSON{LSN: r.LSN, Kind: "register", Object: r.Register.Name, Detail: detail})
+			return
+		}
+		st, _ := adt.EncodeState(r.Register.Initial)
+		fmt.Printf("%8d  REGISTER %s = %s\n", r.LSN, r.Register.Name, st)
 	}
 }
 

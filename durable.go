@@ -91,3 +91,7 @@ func (m *Manager) WalStats() (stats WalStats, ok bool) {
 	}
 	return m.wal.Stats(), true
 }
+
+// WAL exposes the underlying log of a durable manager (nil otherwise).
+// The replication shipper tails it; ordinary callers never need it.
+func (m *Manager) WAL() *wal.Log { return m.wal }

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -260,5 +262,36 @@ func runCrashSeed(t *testing.T, seed int64) {
 		if err := m2.Verify(); err != nil {
 			t.Fatalf("post-recovery Verify: %v", err)
 		}
+	}
+}
+
+// TestOpenDurableRejectsBadOptions pins the boundary validation: a
+// nonsensical group-commit window or a data directory that cannot take
+// writes must fail OpenDurable loudly at startup, never surface later
+// as a hung syncer or a commit-time I/O error.
+func TestOpenDurableRejectsBadOptions(t *testing.T) {
+	if _, _, err := OpenDurable("d", DurableOptions{
+		FS:         wal.NewMemFS(),
+		SyncWindow: -time.Millisecond,
+	}); err == nil || !strings.Contains(err.Error(), "negative SyncWindow") {
+		t.Fatalf("negative SyncWindow: err = %v, want explicit rejection", err)
+	}
+
+	// A directory whose writes fail (permissions, full/failing disk) is
+	// caught by the write probe before any log state is touched.
+	ffs := wal.NewFaultFS(wal.NewMemFS())
+	ffs.FailAfter(0)
+	if _, _, err := OpenDurable("d", DurableOptions{FS: ffs}); err == nil ||
+		!strings.Contains(err.Error(), "not writable") {
+		t.Fatalf("unwritable dir: err = %v, want 'not writable'", err)
+	}
+
+	// A data-dir path occupied by a regular file is rejected too.
+	path := filepath.Join(t.TempDir(), "occupied")
+	if werr := os.WriteFile(path, []byte("x"), 0o644); werr != nil {
+		t.Fatalf("setup: %v", werr)
+	}
+	if _, _, err := OpenDurable(path, DurableOptions{}); err == nil {
+		t.Fatal("OpenDurable accepted a regular file as data dir")
 	}
 }

@@ -108,11 +108,11 @@ type waiter struct {
 // latencies, victim counts by cause, and queue-depth gauges.
 func New(rec *event.Recorder, mode core.Mode, met *obs.Metrics) *Manager {
 	return &Manager{
-		mode:      mode,
-		rec:       rec,
-		met:       met,
-		objects:   make(map[string]*lockState),
-		held:      make(map[tree.TID]map[*lockState]struct{}),
+		mode:       mode,
+		rec:        rec,
+		met:        met,
+		objects:    make(map[string]*lockState),
+		held:       make(map[tree.TID]map[*lockState]struct{}),
 		contended:  make(map[*lockState]struct{}),
 		waiting:    make(map[tree.TID][]*waiter),
 		topWaiting: make(map[tree.TID]map[tree.TID]struct{}),

@@ -341,6 +341,31 @@ type Metrics struct {
 	// so fsyncs/commit == WalFsyncs / WalAppends.
 	WalMaxBatch Gauge
 
+	// ShipLatency is the replication leader's batch round trip: from
+	// writing a batch frame to receiving the ack that covers its last
+	// record — the time an acked-on-leader commit needs to become
+	// durable on a follower.
+	ShipLatency Histogram
+
+	// Leader-side replication counters: batches and records pushed
+	// (heartbeats excluded), acks read back, connected followers.
+	ReplBatches        Counter
+	ReplRecordsShipped Counter
+	ReplAcks           Counter
+	ReplFollowers      Gauge
+
+	// Follower-side replication counters: batches and records appended
+	// to the local WAL and applied to the served states.
+	ReplBatchesApplied Counter
+	ReplRecordsApplied Counter
+
+	// Replication lag, in both the records and the seconds dimension: on
+	// a leader the worst connected follower (records behind the durable
+	// mark / seconds since that follower last made progress), on a
+	// follower its own position against the leader's durable mark.
+	ReplLagRecords Gauge
+	ReplLagNS      Gauge
+
 	// Tracer, when non-nil, receives one entry per transaction
 	// lifecycle event and lock wait/acquire.
 	Tracer *Tracer
@@ -455,6 +480,53 @@ func (m *Metrics) SetCheckpointLSN(nextLSN uint64) {
 	m.WalCheckpointLSN.Set(int64(nextLSN))
 }
 
+// ObserveReplBatch counts one shipped replication batch of n records.
+func (m *Metrics) ObserveReplBatch(n int) {
+	if m == nil {
+		return
+	}
+	m.ReplBatches.Inc()
+	m.ReplRecordsShipped.Add(uint64(n))
+}
+
+// ObserveReplAck counts one received ack; d, when positive, is the
+// round trip of the batch the ack covers.
+func (m *Metrics) ObserveReplAck(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.ReplAcks.Inc()
+	if d > 0 {
+		m.ShipLatency.Observe(d)
+	}
+}
+
+// ObserveReplApply counts one applied replication batch of n records.
+func (m *Metrics) ObserveReplApply(n int) {
+	if m == nil {
+		return
+	}
+	m.ReplBatchesApplied.Inc()
+	m.ReplRecordsApplied.Add(uint64(n))
+}
+
+// AddReplFollowers moves the connected-followers gauge.
+func (m *Metrics) AddReplFollowers(delta int64) {
+	if m == nil {
+		return
+	}
+	m.ReplFollowers.Add(delta)
+}
+
+// SetReplLag publishes the current replication lag in both dimensions.
+func (m *Metrics) SetReplLag(records uint64, behind time.Duration) {
+	if m == nil {
+		return
+	}
+	m.ReplLagRecords.Set(int64(records))
+	m.ReplLagNS.Set(int64(behind))
+}
+
 // Snapshot is a point-in-time copy of a Metrics set (histograms as
 // HistSnapshots, counters and gauges as plain numbers). The trace ring
 // is not included — dump it separately via Tracer.Dump.
@@ -478,6 +550,16 @@ type Snapshot struct {
 	WalCheckpoints   uint64
 	WalCheckpointLSN int64
 	WalMaxBatch      int64
+
+	ShipLatency        HistSnapshot
+	ReplBatches        uint64
+	ReplRecordsShipped uint64
+	ReplAcks           uint64
+	ReplBatchesApplied uint64
+	ReplRecordsApplied uint64
+	ReplFollowers      int64
+	ReplLagRecords     int64
+	ReplLag            time.Duration
 }
 
 // Victims returns the total victim count across causes.
@@ -504,5 +586,15 @@ func (m *Metrics) Snapshot() Snapshot {
 		WalCheckpoints:   m.WalCheckpoints.Load(),
 		WalCheckpointLSN: m.WalCheckpointLSN.Load(),
 		WalMaxBatch:      m.WalMaxBatch.Load(),
+
+		ShipLatency:        m.ShipLatency.Snapshot(),
+		ReplBatches:        m.ReplBatches.Load(),
+		ReplRecordsShipped: m.ReplRecordsShipped.Load(),
+		ReplAcks:           m.ReplAcks.Load(),
+		ReplBatchesApplied: m.ReplBatchesApplied.Load(),
+		ReplRecordsApplied: m.ReplRecordsApplied.Load(),
+		ReplFollowers:      m.ReplFollowers.Load(),
+		ReplLagRecords:     m.ReplLagRecords.Load(),
+		ReplLag:            time.Duration(m.ReplLagNS.Load()),
 	}
 }

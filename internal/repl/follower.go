@@ -1,0 +1,401 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"nestedtx/internal/adt"
+	"nestedtx/internal/obs"
+	"nestedtx/internal/wal"
+	"nestedtx/internal/wire"
+)
+
+// ErrDiverged reports that a shipped record did not replay cleanly
+// against the follower's states: the logged value of some effect
+// differs from what the operation returns here. That means the two
+// histories are not the same history — the follower refuses to
+// continue rather than serve states the leader never had.
+var ErrDiverged = errors.New("repl: follower diverged from leader history")
+
+var errStopped = errors.New("repl: follower stopped")
+
+// replReadTimeout bounds how long a follower waits for the next frame;
+// the leader heartbeats every second, so a silent link is dead.
+const replReadTimeout = 15 * time.Second
+
+// Follower is a read replica: it maintains its own WAL as a prefix of
+// the leader's durable history, applies committed effects to in-memory
+// states, and serves reads from them. It carries everything a
+// promotion needs: Dir/WalOptions hand the data directory to
+// nestedtx.OpenDurable, whose recovery re-verifies the inherited
+// history before the promoted node accepts writes.
+type Follower struct {
+	dir  string
+	opts wal.Options
+	log  *wal.Log
+	met  *obs.Metrics
+
+	mu            sync.Mutex
+	states        map[string]adt.State
+	leader        string
+	leaderDurable uint64
+	progress      time.Time // last time the local log advanced
+	connected     bool
+	lastErr       error
+
+	stopOnce sync.Once
+	stop     chan struct{}
+}
+
+// OpenFollower opens (or recovers) the data directory as a replica.
+// The recovered prefix is kept: streaming resumes from its NextLSN, so
+// a restarted follower re-fetches only what it missed.
+func OpenFollower(dir string, opts wal.Options) (*Follower, error) {
+	if opts.Metrics == nil {
+		opts.Metrics = &obs.Metrics{}
+	}
+	lg, rec, err := wal.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Follower{
+		dir:      dir,
+		opts:     opts,
+		log:      lg,
+		met:      opts.Metrics,
+		states:   rec.States(),
+		progress: time.Now(),
+		stop:     make(chan struct{}),
+	}, nil
+}
+
+// Run streams from the leader until Stop (or Close) is called,
+// reconnecting with backoff across leader restarts and partitions. It
+// returns nil on Stop and ErrDiverged (wrapped) if replay ever
+// contradicts the local states — the one condition reconnecting cannot
+// fix.
+func (f *Follower) Run(leader string) error {
+	f.mu.Lock()
+	f.leader = leader
+	f.mu.Unlock()
+	attempt := 0
+	for {
+		select {
+		case <-f.stop:
+			return nil
+		default:
+		}
+		start := time.Now()
+		err := f.stream(leader)
+		f.setDisconnected(err)
+		if errors.Is(err, errStopped) {
+			return nil
+		}
+		if errors.Is(err, ErrDiverged) {
+			return err
+		}
+		if time.Since(start) > 5*time.Second {
+			attempt = 0 // the link worked for a while; start backoff over
+		}
+		attempt++
+		select {
+		case <-f.stop:
+			return nil
+		case <-time.After(backoff(attempt)):
+		}
+	}
+}
+
+func backoff(attempt int) time.Duration {
+	d := 50 * time.Millisecond << uint(attempt-1)
+	if attempt > 6 || d > 2*time.Second {
+		return 2 * time.Second
+	}
+	return d
+}
+
+// stream runs one connection's worth of replication: dial, HELLO at the
+// local NextLSN, then apply pushed frames and ack until something
+// breaks.
+func (f *Follower) stream(leader string) error {
+	conn, err := net.DialTimeout("tcp", leader, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	// Unblock the read loop when Stop is called mid-stream.
+	streamDone := make(chan struct{})
+	defer close(streamDone)
+	go func() {
+		select {
+		case <-f.stop:
+			conn.Close()
+		case <-streamDone:
+		}
+	}()
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	seq := uint64(1)
+	if err := wire.WriteFrame(bw, &wire.Request{
+		Seq: seq, Type: wire.TReplHello, Lsn: f.log.Stats().NextLSN,
+	}); err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Now().Add(replReadTimeout))
+	resp, err := wire.ReadResponse(br)
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("repl: leader refused stream: %s (%s)", resp.Err, resp.Code)
+	}
+	if resp.Repl == nil || resp.Repl.Kind != wire.ReplHello {
+		return fmt.Errorf("repl: unexpected hello reply")
+	}
+	f.noteConnected(leader, resp.Repl.DurableLSN)
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(replReadTimeout))
+		resp, err := wire.ReadResponse(br)
+		if err != nil {
+			select {
+			case <-f.stop:
+				return errStopped
+			default:
+			}
+			return err
+		}
+		if resp.Repl == nil {
+			continue
+		}
+		switch resp.Repl.Kind {
+		case wire.ReplSnapshot:
+			err = f.installSnapshot(resp.Repl)
+		case wire.ReplBatch:
+			err = f.applyBatch(resp.Repl)
+		default:
+			err = fmt.Errorf("repl: unknown stream frame kind %q", resp.Repl.Kind)
+		}
+		if err != nil {
+			return err
+		}
+		seq++
+		if err := wire.WriteFrame(bw, &wire.Request{
+			Seq: seq, Type: wire.TReplAck, Lsn: f.log.Stats().NextLSN,
+		}); err != nil {
+			return err
+		}
+	}
+}
+
+// applyBatch makes a shipped batch durable locally and then visible:
+// decode (re-verifying each record's CRC), append to the local WAL in
+// strict LSN order, then apply the effects to the served states with
+// the same value re-validation recovery's redo performs — divergence
+// here is fatal, not retryable.
+func (f *Follower) applyBatch(r *wire.Repl) error {
+	f.noteLeaderDurable(r.DurableLSN)
+	if r.Count == 0 {
+		f.publishLag()
+		return nil // heartbeat
+	}
+	recs, err := wal.DecodeFrames(r.Frames)
+	if err != nil {
+		return fmt.Errorf("repl: batch at %d: %w", r.FirstLSN, err)
+	}
+	next := f.log.Stats().NextLSN
+	// Drop any prefix we already hold (a resend race around reconnect).
+	for len(recs) > 0 && recs[0].LSN < next {
+		recs = recs[1:]
+	}
+	if len(recs) == 0 {
+		f.publishLag()
+		return nil
+	}
+	if recs[0].LSN != next {
+		return fmt.Errorf("repl: batch gap: got LSN %d, want %d", recs[0].LSN, next)
+	}
+	if err := f.log.AppendBatch(recs); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, rec := range recs {
+		switch {
+		case rec.Register != nil:
+			if _, ok := f.states[rec.Register.Name]; !ok {
+				f.states[rec.Register.Name] = rec.Register.Initial
+			}
+		case rec.Commit != nil:
+			for i, e := range rec.Commit.Effects {
+				st, ok := f.states[e.Obj]
+				if !ok {
+					return fmt.Errorf("%w: record %d effect %d: unknown object %q",
+						ErrDiverged, rec.LSN, i, e.Obj)
+				}
+				nextSt, v := e.Op.Apply(st)
+				if v != e.Val {
+					return fmt.Errorf("%w: record %d effect %d on %q: logged value %v, apply produced %v",
+						ErrDiverged, rec.LSN, i, e.Obj, e.Val, v)
+				}
+				f.states[e.Obj] = nextSt
+			}
+		}
+	}
+	f.progress = time.Now()
+	f.met.ObserveReplApply(len(recs))
+	f.publishLagLocked()
+	return nil
+}
+
+// installSnapshot replaces the local log and states with the leader's
+// checkpoint — the catch-up path for a follower below the leader's
+// low-water mark.
+func (f *Follower) installSnapshot(r *wire.Repl) error {
+	f.noteLeaderDurable(r.DurableLSN)
+	states := make(map[string]adt.State, len(r.States))
+	for x, raw := range r.States {
+		st, err := adt.DecodeState(raw)
+		if err != nil {
+			return fmt.Errorf("repl: snapshot state %q: %w", x, err)
+		}
+		states[x] = st
+	}
+	if err := f.log.InstallSnapshot(r.NextLSN, states); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.states = states
+	f.progress = time.Now()
+	f.mu.Unlock()
+	f.publishLag()
+	return nil
+}
+
+func (f *Follower) noteConnected(leader string, leaderDurable uint64) {
+	f.mu.Lock()
+	f.connected = true
+	f.lastErr = nil
+	if leaderDurable > f.leaderDurable {
+		f.leaderDurable = leaderDurable
+	}
+	f.mu.Unlock()
+	f.publishLag()
+}
+
+func (f *Follower) setDisconnected(err error) {
+	f.mu.Lock()
+	f.connected = false
+	if err != nil && !errors.Is(err, errStopped) {
+		f.lastErr = err
+	}
+	f.mu.Unlock()
+}
+
+func (f *Follower) noteLeaderDurable(lsn uint64) {
+	f.mu.Lock()
+	if lsn > f.leaderDurable {
+		f.leaderDurable = lsn
+	}
+	f.mu.Unlock()
+}
+
+func (f *Follower) publishLag() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.publishLagLocked()
+}
+
+func (f *Follower) publishLagLocked() {
+	applied := f.log.Stats().NextLSN
+	if f.leaderDurable <= applied {
+		f.met.SetReplLag(0, 0)
+		return
+	}
+	f.met.SetReplLag(f.leaderDurable-applied, time.Since(f.progress))
+}
+
+// State returns the replicated (committed-to-root) state of an object.
+func (f *Follower) State(name string) (adt.State, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.states[name]
+	if !ok {
+		return nil, fmt.Errorf("repl: unknown object %q", name)
+	}
+	return st, nil
+}
+
+// States returns a copy of all replicated object states.
+func (f *Follower) States() map[string]adt.State {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]adt.State, len(f.states))
+	for k, v := range f.states {
+		out[k] = v
+	}
+	return out
+}
+
+// Status reports the follower-side replication view.
+func (f *Follower) Status() *wire.ReplStatus {
+	st := f.log.Stats()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := &wire.ReplStatus{
+		Role:             "follower",
+		NextLSN:          st.NextLSN,
+		DurableLSN:       st.DurableLSN,
+		CheckpointLSN:    st.CheckpointLSN,
+		Leader:           f.leader,
+		LeaderDurableLSN: f.leaderDurable,
+		Connected:        f.connected,
+	}
+	if f.leaderDurable > st.NextLSN {
+		out.LagRecords = f.leaderDurable - st.NextLSN
+		out.LagSeconds = time.Since(f.progress).Seconds()
+	}
+	return out
+}
+
+// Err returns the last stream error (nil while healthy or stopped).
+func (f *Follower) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastErr
+}
+
+// Dir returns the data directory, for promotion.
+func (f *Follower) Dir() string { return f.dir }
+
+// WalOptions returns the options the log was opened with, for
+// promotion (nestedtx.OpenDurable reopens the directory with them).
+func (f *Follower) WalOptions() wal.Options { return f.opts }
+
+// Metrics returns the follower's metrics registry.
+func (f *Follower) Metrics() *obs.Metrics { return f.met }
+
+// Leader returns the address Run was pointed at ("" before Run).
+func (f *Follower) Leader() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.leader
+}
+
+// Stop ends streaming (Run returns) but leaves the log open and the
+// states serveable.
+func (f *Follower) Stop() {
+	f.stopOnce.Do(func() { close(f.stop) })
+}
+
+// Close stops streaming and closes the local log. The in-memory states
+// remain readable; the data directory is ready for OpenDurable.
+func (f *Follower) Close() error {
+	f.Stop()
+	return f.log.Close()
+}

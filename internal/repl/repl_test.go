@@ -1,0 +1,320 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nestedtx/internal/adt"
+	"nestedtx/internal/obs"
+	"nestedtx/internal/wal"
+	"nestedtx/internal/wire"
+)
+
+// leaderLog is a test-side stand-in for a committing Manager: it
+// appends register/commit records to a real log, maintaining shadow
+// states the way commitTop does.
+type leaderLog struct {
+	tb     testing.TB
+	lg     *wal.Log
+	states map[string]adt.State
+	n      int
+}
+
+func newLeaderLog(tb testing.TB, fs wal.FS, dir string, opts wal.Options) *leaderLog {
+	tb.Helper()
+	opts.FS = fs
+	lg, rec, err := wal.Open(dir, opts)
+	if err != nil {
+		tb.Fatalf("wal.Open(%s): %v", dir, err)
+	}
+	states := rec.States()
+	if states == nil {
+		states = make(map[string]adt.State)
+	}
+	return &leaderLog{tb: tb, lg: lg, states: states}
+}
+
+func (l *leaderLog) register(name string, init adt.State) {
+	l.tb.Helper()
+	if _, err := l.lg.Append(wal.Record{Register: &wal.RegisterRecord{Name: name, Initial: init}}); err != nil {
+		l.tb.Fatalf("append register %s: %v", name, err)
+	}
+	l.states[name] = init
+}
+
+func (l *leaderLog) commit(obj string, op adt.Op) {
+	l.tb.Helper()
+	next, v := op.Apply(l.states[obj])
+	l.n++
+	rec := wal.Record{Commit: &wal.CommitRecord{
+		TID: "T0." + string(rune('0'+l.n%10)), Value: int64(1),
+		Effects: []wal.Effect{{Obj: obj, Op: op, Val: v}},
+	}}
+	if _, err := l.lg.Append(rec); err != nil {
+		l.tb.Fatalf("append commit on %s: %v", obj, err)
+	}
+	l.states[obj] = next
+}
+
+// serveShipper runs a minimal leader accept loop: each connection's
+// first request must be a REPL_HELLO, which hands the connection to
+// sh.Serve — the same wiring internal/server does.
+func serveShipper(tb testing.TB, sh *Shipper) (addr string, stop func()) {
+	tb.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatalf("listen: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				br := bufio.NewReaderSize(c, 64<<10)
+				bw := bufio.NewWriterSize(c, 64<<10)
+				req, err := wire.ReadRequest(br)
+				if err != nil || req.Type != wire.TReplHello {
+					return
+				}
+				sh.Serve(done, c.RemoteAddr().String(), req, br, bw)
+			}(conn)
+		}
+	}()
+	var once sync.Once
+	return ln.Addr().String(), func() {
+		once.Do(func() {
+			close(done)
+			ln.Close()
+		})
+	}
+}
+
+func waitFor(tb testing.TB, what string, cond func() bool) {
+	tb.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	tb.Fatalf("timed out waiting for %s", what)
+}
+
+func TestShipAndCatchUp(t *testing.T) {
+	fs := wal.NewMemFS()
+	leader := newLeaderLog(t, fs, "leader", wal.Options{})
+	defer leader.lg.Close()
+	leader.register("ctr", adt.Counter{})
+	for i := 0; i < 20; i++ {
+		leader.commit("ctr", adt.CtrAdd{Delta: 1})
+	}
+
+	met := &obs.Metrics{}
+	sh := NewShipper(leader.lg, met)
+	addr, stop := serveShipper(t, sh)
+	defer stop()
+
+	f, err := OpenFollower("follower", wal.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("OpenFollower: %v", err)
+	}
+	defer f.Close()
+	go f.Run(addr)
+
+	// Catch-up: the backlog written before the follower existed arrives.
+	waitFor(t, "initial catch-up", func() bool {
+		return f.Status().NextLSN == leader.lg.DurableLSN()
+	})
+	if !reflect.DeepEqual(f.States(), leader.states) {
+		t.Fatalf("follower states %v != leader states %v", f.States(), leader.states)
+	}
+
+	// Steady state: live commits flow through.
+	for i := 0; i < 10; i++ {
+		leader.commit("ctr", adt.CtrAdd{Delta: 2})
+	}
+	waitFor(t, "steady-state ship", func() bool {
+		return f.Status().NextLSN == leader.lg.DurableLSN()
+	})
+	if st, err := f.State("ctr"); err != nil || st != (adt.Counter{N: 40}) {
+		t.Fatalf("follower ctr = %v (%v), want Counter{N: 40}", st, err)
+	}
+
+	// The leader saw acks covering everything, and its lag gauge is flat.
+	waitFor(t, "leader ack bookkeeping", func() bool {
+		rs := sh.Status()
+		return len(rs.Followers) == 1 && rs.Followers[0].AckLSN == leader.lg.DurableLSN()
+	})
+	snap := met.Snapshot()
+	if snap.ReplBatches == 0 || snap.ReplRecordsShipped < 31 || snap.ReplAcks == 0 {
+		t.Fatalf("leader repl counters not advancing: %+v", snap)
+	}
+	if snap.ReplLagRecords != 0 {
+		t.Fatalf("caught-up lag gauge = %d, want 0", snap.ReplLagRecords)
+	}
+
+	// The follower's WAL is byte-verifiable on its own.
+	rec, err := wal.Inspect("follower", fs)
+	if err != nil {
+		t.Fatalf("inspect follower: %v", err)
+	}
+	if err := rec.Verify(); err != nil {
+		t.Fatalf("follower history fails Verify: %v", err)
+	}
+}
+
+func TestSnapshotCatchUp(t *testing.T) {
+	fs := wal.NewMemFS()
+	leader := newLeaderLog(t, fs, "leader", wal.Options{})
+	defer leader.lg.Close()
+	leader.register("ctr", adt.Counter{})
+	leader.register("reg", adt.NewRegister(int64(0)))
+	for i := 0; i < 15; i++ {
+		leader.commit("ctr", adt.CtrAdd{Delta: 1})
+		leader.commit("reg", adt.RegWrite{V: int64(i)})
+	}
+	// Checkpoint truncates the log: LSN 0 is below the low-water mark,
+	// so a fresh follower can only catch up via snapshot.
+	if err := leader.lg.Checkpoint(func() map[string]adt.State { return leader.states }); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	leader.commit("ctr", adt.CtrAdd{Delta: 100})
+
+	sh := NewShipper(leader.lg, nil)
+	addr, stop := serveShipper(t, sh)
+	defer stop()
+
+	f, err := OpenFollower("follower", wal.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("OpenFollower: %v", err)
+	}
+	defer f.Close()
+	go f.Run(addr)
+
+	waitFor(t, "snapshot catch-up", func() bool {
+		return f.Status().NextLSN == leader.lg.DurableLSN()
+	})
+	if !reflect.DeepEqual(f.States(), leader.states) {
+		t.Fatalf("follower states %v != leader states %v", f.States(), leader.states)
+	}
+	st := f.Status()
+	if st.CheckpointLSN != leader.lg.Stats().CheckpointLSN {
+		t.Fatalf("follower checkpoint %d, want the installed snapshot at %d",
+			st.CheckpointLSN, leader.lg.Stats().CheckpointLSN)
+	}
+}
+
+func TestFollowerRestartResumes(t *testing.T) {
+	fs := wal.NewMemFS()
+	leader := newLeaderLog(t, fs, "leader", wal.Options{})
+	defer leader.lg.Close()
+	leader.register("ctr", adt.Counter{})
+	for i := 0; i < 5; i++ {
+		leader.commit("ctr", adt.CtrAdd{Delta: 1})
+	}
+
+	sh := NewShipper(leader.lg, nil)
+	addr, stop := serveShipper(t, sh)
+	defer stop()
+
+	f, err := OpenFollower("follower", wal.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("OpenFollower: %v", err)
+	}
+	go f.Run(addr)
+	waitFor(t, "first catch-up", func() bool {
+		return f.Status().NextLSN == leader.lg.DurableLSN()
+	})
+	if err := f.Close(); err != nil {
+		t.Fatalf("close follower: %v", err)
+	}
+
+	// Leader keeps committing while the follower is down.
+	for i := 0; i < 7; i++ {
+		leader.commit("ctr", adt.CtrAdd{Delta: 3})
+	}
+
+	// A reopened follower recovers its prefix and fetches only the rest.
+	f2, err := OpenFollower("follower", wal.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("reopen follower: %v", err)
+	}
+	defer f2.Close()
+	if got, want := f2.Status().NextLSN, uint64(6); got != want {
+		t.Fatalf("recovered follower NextLSN %d, want %d", got, want)
+	}
+	go f2.Run(addr)
+	waitFor(t, "resume catch-up", func() bool {
+		return f2.Status().NextLSN == leader.lg.DurableLSN()
+	})
+	if !reflect.DeepEqual(f2.States(), leader.states) {
+		t.Fatalf("follower states %v != leader states %v", f2.States(), leader.states)
+	}
+}
+
+func TestHelloRefusesAheadFollower(t *testing.T) {
+	fs := wal.NewMemFS()
+	leader := newLeaderLog(t, fs, "leader", wal.Options{})
+	defer leader.lg.Close()
+	leader.register("ctr", adt.Counter{})
+
+	sh := NewShipper(leader.lg, nil)
+	addr, stop := serveShipper(t, sh)
+	defer stop()
+
+	// A follower whose log is longer than the leader's is not a replica
+	// of this history; streaming must be refused, not "fixed".
+	ahead := newLeaderLog(t, fs, "ahead", wal.Options{})
+	ahead.register("ctr", adt.Counter{})
+	for i := 0; i < 9; i++ {
+		ahead.commit("ctr", adt.CtrAdd{Delta: 1})
+	}
+	ahead.lg.Close()
+
+	f, err := OpenFollower("ahead", wal.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("OpenFollower: %v", err)
+	}
+	defer f.Close()
+	err = f.stream(addr)
+	if err == nil || !strings.Contains(err.Error(), "ahead") {
+		t.Fatalf("stream from ahead follower: err = %v, want split-brain refusal", err)
+	}
+}
+
+func TestDivergenceIsFatal(t *testing.T) {
+	fs := wal.NewMemFS()
+	f, err := OpenFollower("follower", wal.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("OpenFollower: %v", err)
+	}
+	defer f.Close()
+
+	// A batch whose logged value contradicts the op's actual return on
+	// the follower's state must be rejected with ErrDiverged.
+	var frames []byte
+	for i, rec := range []wal.Record{
+		{LSN: 0, Register: &wal.RegisterRecord{Name: "ctr", Initial: adt.Counter{}}},
+		{LSN: 1, Commit: &wal.CommitRecord{TID: "T0.1", Value: int64(1),
+			Effects: []wal.Effect{{Obj: "ctr", Op: adt.CtrAdd{Delta: 1}, Val: int64(999)}}}},
+	} {
+		if frames, err = wal.EncodeFrame(frames, rec); err != nil {
+			t.Fatalf("EncodeFrame %d: %v", i, err)
+		}
+	}
+	err = f.applyBatch(&wire.Repl{Kind: wire.ReplBatch, FirstLSN: 0, Count: 2, Frames: frames})
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("applyBatch with bad logged value: err = %v, want ErrDiverged", err)
+	}
+}

@@ -13,8 +13,8 @@ import (
 	"nestedtx"
 	"nestedtx/client"
 	"nestedtx/internal/server"
-	"nestedtx/internal/wire"
 	"nestedtx/internal/wal"
+	"nestedtx/internal/wire"
 )
 
 // bigTable builds a Table whose adt encoding is at least min bytes.

@@ -29,6 +29,7 @@ import (
 	"nestedtx"
 	"nestedtx/internal/adt"
 	"nestedtx/internal/obs"
+	"nestedtx/internal/repl"
 	"nestedtx/internal/wire"
 )
 
@@ -50,6 +51,15 @@ type Config struct {
 	// transaction and fails with a timeout frame. <= 0 means the default
 	// of 10s.
 	RequestTimeout time.Duration
+	// Follower, when non-nil, runs the server as a read replica: it
+	// serves STATE from the follower's replicated states, rejects every
+	// transaction verb with CodeReadOnly, and stays promotable (see
+	// [Server.Promote]). New's mgr argument may be nil in this mode.
+	// The caller owns starting Follower.Run.
+	Follower *repl.Follower
+	// PromoteOptions are the Manager options a promotion opens the
+	// inherited data directory with (recording mode, tracing, ...).
+	PromoteOptions []nestedtx.Option
 }
 
 const defaultRequestTimeout = 10 * time.Second
@@ -84,29 +94,102 @@ type Server struct {
 	cnt Counters
 
 	mu       sync.Mutex
+	mgrMu    sync.Mutex // guards mgr/follower/shipper across Promote
 	ln       net.Listener
 	sessions map[*session]struct{}
 	closed   bool
 	reapStop chan struct{}
 	wg       sync.WaitGroup // live session goroutines
+
+	follower *repl.Follower // non-nil while serving as a read replica
+	shipper  *repl.Shipper  // non-nil while serving a durable leader
 }
 
 // New returns a Server for mgr. The objects clients may touch must be
-// Registered on mgr before Serve.
+// Registered on mgr before Serve. With cfg.Follower set the server is a
+// read replica and mgr may be nil; a durable mgr makes the server a
+// replication leader (followers may connect with REPL_HELLO).
 func New(mgr *nestedtx.Manager, cfg Config) *Server {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = defaultRequestTimeout
 	}
-	return &Server{
+	s := &Server{
 		mgr:      mgr,
 		cfg:      cfg,
+		follower: cfg.Follower,
 		sessions: make(map[*session]struct{}),
 		reapStop: make(chan struct{}),
 	}
+	if mgr != nil && mgr.Durable() {
+		s.shipper = repl.NewShipper(mgr.WAL(), mgr.Metrics())
+	}
+	return s
 }
 
 // Manager returns the served manager (for post-drain Verify / State).
-func (s *Server) Manager() *nestedtx.Manager { return s.mgr }
+// Nil while the server is a follower that has not been promoted.
+func (s *Server) Manager() *nestedtx.Manager {
+	s.mgrMu.Lock()
+	defer s.mgrMu.Unlock()
+	return s.mgr
+}
+
+// Follower returns the replica state (nil on a leader).
+func (s *Server) Follower() *repl.Follower {
+	s.mgrMu.Lock()
+	defer s.mgrMu.Unlock()
+	return s.follower
+}
+
+func (s *Server) shipperRef() *repl.Shipper {
+	s.mgrMu.Lock()
+	defer s.mgrMu.Unlock()
+	return s.shipper
+}
+
+// Promote turns a follower server into a leader: streaming stops, the
+// inherited data directory is recovered by nestedtx.OpenDurable, the
+// recovered history is re-certified by Recovery.Verify (Theorem 34 must
+// hold for the state the new leader will serve — a promotion that fails
+// verification is refused), and only then does the server start
+// accepting writes and shipping to its own followers. The recovered
+// objects are Registered on the new manager by recovery itself.
+func (s *Server) Promote() (*nestedtx.Recovery, error) {
+	s.mgrMu.Lock()
+	f := s.follower
+	if f == nil {
+		s.mgrMu.Unlock()
+		return nil, errors.New("server: not a follower")
+	}
+	s.follower = nil // claim the promotion; concurrent calls fail above
+	s.mgrMu.Unlock()
+
+	if err := f.Close(); err != nil {
+		s.mgrMu.Lock()
+		s.follower = f
+		s.mgrMu.Unlock()
+		return nil, fmt.Errorf("server: promote: close replica log: %w", err)
+	}
+	mgr, rec, err := nestedtx.OpenDurable(f.Dir(), f.WalOptions(), s.cfg.PromoteOptions...)
+	if err != nil {
+		s.mgrMu.Lock()
+		s.follower = f // log closed, but states still serve reads
+		s.mgrMu.Unlock()
+		return nil, fmt.Errorf("server: promote: recover %s: %w", f.Dir(), err)
+	}
+	if err := rec.Verify(); err != nil {
+		mgr.CloseWAL()
+		s.mgrMu.Lock()
+		s.follower = f
+		s.mgrMu.Unlock()
+		return nil, fmt.Errorf("server: promote: inherited history fails verification: %w", err)
+	}
+	s.mgrMu.Lock()
+	s.mgr = mgr
+	s.shipper = repl.NewShipper(mgr.WAL(), mgr.Metrics())
+	s.mgrMu.Unlock()
+	return rec, nil
+}
 
 // Counters returns a consistent snapshot of the server counters (see
 // the type's consistency contract).
@@ -215,11 +298,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		// On a durable manager every acknowledged commit was fsynced
-		// before its reply went out, so the drain leaves nothing volatile;
-		// the final flush covers group-commit stragglers that were never
-		// acknowledged and costs one fsync at most.
-		return s.mgr.SyncWAL()
+		if f := s.Follower(); f != nil {
+			return f.Close()
+		}
+		if m := s.Manager(); m != nil {
+			// On a durable manager every acknowledged commit was fsynced
+			// before its reply went out, so the drain leaves nothing
+			// volatile; the final flush covers group-commit stragglers that
+			// were never acknowledged and costs one fsync at most.
+			return m.SyncWAL()
+		}
+		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -313,6 +402,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		req, err := wire.ReadRequest(br)
 		if err != nil {
 			return // EOF, reset, or reaped/drained under us
+		}
+		if req.Type == wire.TReplHello {
+			// The connection becomes a replication push stream: the shipper
+			// owns both directions until the follower disconnects. Marked
+			// permanently in flight so the idle reaper leaves it alone.
+			ss.inFlight.Store(true)
+			ss.serveRepl(req, br, bw)
+			return
 		}
 		ss.inFlight.Store(true)
 		ss.lastActive.Store(time.Now().UnixNano())
@@ -444,6 +541,16 @@ func (ss *session) body(h *txHandle) func(*nestedtx.Tx) error {
 
 func (ss *session) handle(req *wire.Request) *wire.Response {
 	switch req.Type {
+	case wire.TBegin, wire.TSub, wire.TRead, wire.TWrite, wire.TCommit, wire.TAbort:
+		// A read replica serves no transactions at all — not even reads:
+		// a replica read is a plain committed-state read (STATE), never a
+		// locked access. Writes must go to the leader.
+		if f := ss.srv.Follower(); f != nil {
+			return fail(wire.CodeReadOnly,
+				fmt.Sprintf("server: read-only replica of %s; transactions go to the leader", f.Leader()))
+		}
+	}
+	switch req.Type {
 	case wire.TPing:
 		return &wire.Response{OK: true}
 	case wire.TStats:
@@ -452,6 +559,10 @@ func (ss *session) handle(req *wire.Request) *wire.Response {
 		return ss.handleMetrics(req.Dump)
 	case wire.TState:
 		return ss.handleState(req)
+	case wire.TReplStatus:
+		return ss.handleReplStatus()
+	case wire.TPromote:
+		return ss.handlePromote()
 	case wire.TBegin:
 		return ss.handleBegin()
 	case wire.TSub:
@@ -471,9 +582,46 @@ func fail(code, msg string) *wire.Response {
 	return &wire.Response{OK: false, Code: code, Err: msg}
 }
 
+// serveRepl hands a REPL_HELLO connection to the shipper. Only a
+// durable leader ships; a follower or volatile server refuses.
+func (ss *session) serveRepl(req *wire.Request, br *bufio.Reader, bw *bufio.Writer) {
+	sh := ss.srv.shipperRef()
+	if sh == nil {
+		msg := "server: replication requires a durable leader"
+		if ss.srv.Follower() != nil {
+			msg = "server: cannot replicate from a follower"
+		}
+		wire.WriteFrameMax(bw, &wire.Response{Seq: req.Seq, OK: false,
+			Code: wire.CodeBadRequest, Err: msg}, wire.MaxResponseSize)
+		bw.Flush()
+		return
+	}
+	sh.Serve(ss.ctx.Done(), ss.conn.RemoteAddr().String(), req, br, bw)
+}
+
+func (ss *session) handleReplStatus() *wire.Response {
+	if f := ss.srv.Follower(); f != nil {
+		return &wire.Response{OK: true, ReplStatus: f.Status()}
+	}
+	if sh := ss.srv.shipperRef(); sh != nil {
+		return &wire.Response{OK: true, ReplStatus: sh.Status()}
+	}
+	return fail(wire.CodeBadRequest, "server: replication not configured (volatile manager)")
+}
+
+func (ss *session) handlePromote() *wire.Response {
+	if _, err := ss.srv.Promote(); err != nil {
+		return fail(wire.CodeBadRequest, err.Error())
+	}
+	return &wire.Response{OK: true}
+}
+
 func (ss *session) handleStats() *wire.Response {
 	c := ss.srv.Counters()
-	lk := ss.srv.mgr.Stats()
+	var lk nestedtx.Stats
+	if m := ss.srv.Manager(); m != nil {
+		lk = m.Stats()
+	}
 	return &wire.Response{OK: true, Stats: &wire.Stats{
 		ActiveSessions:  c.ActiveSessions,
 		TotalSessions:   c.TotalSessions,
@@ -512,7 +660,14 @@ func histQ(s obs.HistSnapshot) wire.HistQ {
 }
 
 func (ss *session) handleMetrics(dump bool) *wire.Response {
-	met := ss.srv.mgr.Metrics()
+	var met *obs.Metrics
+	if f := ss.srv.Follower(); f != nil {
+		met = f.Metrics()
+	} else if m := ss.srv.Manager(); m != nil {
+		met = m.Metrics()
+	} else {
+		return fail(wire.CodeInternal, "server: no metrics source")
+	}
 	s := met.Snapshot()
 	m := &wire.Metrics{
 		OpLatency:        histQ(s.OpLatency),
@@ -531,6 +686,16 @@ func (ss *session) handleMetrics(dump bool) *wire.Response {
 		WalMaxBatch:      uint64(s.WalMaxBatch),
 		WalCheckpoints:   s.WalCheckpoints,
 		WalCheckpointLSN: uint64(s.WalCheckpointLSN),
+
+		ShipLatency:        histQ(s.ShipLatency),
+		ReplBatches:        s.ReplBatches,
+		ReplRecordsShipped: s.ReplRecordsShipped,
+		ReplAcks:           s.ReplAcks,
+		ReplBatchesApplied: s.ReplBatchesApplied,
+		ReplRecordsApplied: s.ReplRecordsApplied,
+		ReplFollowers:      s.ReplFollowers,
+		ReplLagRecords:     s.ReplLagRecords,
+		ReplLagSeconds:     s.ReplLag.Seconds(),
 	}
 	if dump && met.Tracer != nil {
 		entries := met.Tracer.Dump()
@@ -556,7 +721,17 @@ func (ss *session) handleMetrics(dump bool) *wire.Response {
 }
 
 func (ss *session) handleState(req *wire.Request) *wire.Response {
-	st, err := ss.srv.mgr.State(req.Obj)
+	var st adt.State
+	var err error
+	if f := ss.srv.Follower(); f != nil {
+		// Replica read: the replicated committed-to-root state. Every
+		// record behind it was CRC-checked and value-verified on apply.
+		st, err = f.State(req.Obj)
+	} else if m := ss.srv.Manager(); m != nil {
+		st, err = m.State(req.Obj)
+	} else {
+		err = errors.New("server: no state source")
+	}
 	if err != nil {
 		return fail(wire.CodeBadRequest, err.Error())
 	}
@@ -589,7 +764,7 @@ func (ss *session) handleBegin() *wire.Response {
 		// teardown a cancellation point (including between any future
 		// backoff attempts).
 		ss.srv.count(func(c *Counters) { c.TxBegun++ })
-		err := ss.srv.mgr.RunRetryCtx(h.treeCtx, 1, ss.body(h))
+		err := ss.srv.Manager().RunRetryCtx(h.treeCtx, 1, ss.body(h))
 		if err == nil {
 			ss.srv.count(func(c *Counters) { c.Commits++ })
 		} else {
@@ -796,7 +971,7 @@ func (ss *session) mapOpErr(obj string, err error) *wire.Response {
 	default:
 		// Off the happy path only: distinguish the client naming an
 		// unregistered object from a genuine server-side failure.
-		if _, serr := ss.srv.mgr.State(obj); serr != nil {
+		if _, serr := ss.srv.Manager().State(obj); serr != nil {
 			return fail(wire.CodeBadRequest, serr.Error())
 		}
 		return fail(wire.CodeInternal, err.Error())

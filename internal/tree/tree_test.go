@@ -262,7 +262,7 @@ func TestCompare(t *testing.T) {
 		{"T0", "T0.0", -1},
 		{"T0.0", "T0", 1},
 		{"T0.1", "T0.2", -1},
-		{"T0.9", "T0.10", -1},  // numeric, not lexicographic
+		{"T0.9", "T0.10", -1}, // numeric, not lexicographic
 		{"T0.10", "T0.9", 1},
 		{"T0.2.9", "T0.2.10", -1},
 		{"T0.10", "T0.10", 0},

@@ -94,9 +94,57 @@ func (l *Log) Checkpoint(capture func() map[string]adt.State) error {
 		l.err = err
 		return err
 	}
+	if err := l.cutoverLocked(name, l.nextLSN); err != nil {
+		return err
+	}
+	l.met.ObserveCheckpoint(l.nextLSN)
+	return nil
+}
 
-	// The new checkpoint is durable; everything below its LSN is now
-	// redundant. Seal the active segment, drop old files, start fresh.
+// InstallSnapshot replaces the log's entire contents with a checkpoint
+// at nextLSN holding states — the follower bootstrap path when its
+// position has fallen below the leader's low-water mark: the records the
+// follower is missing were truncated by the leader's checkpoints, so the
+// follower adopts the leader's checkpoint wholesale and resumes
+// streaming from nextLSN. Installing a snapshot behind the log's current
+// position is refused (the log would have to forget durable records).
+func (l *Log) InstallSnapshot(nextLSN uint64, states map[string]adt.State) error {
+	l.gate.Lock()
+	defer l.gate.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	if l.err != nil {
+		return fmt.Errorf("wal: log failed: %w", l.err)
+	}
+	if nextLSN < l.nextLSN {
+		return fmt.Errorf("wal: snapshot at %d behind log position %d", nextLSN, l.nextLSN)
+	}
+	payload, err := marshalCheckpoint(nextLSN, states)
+	if err != nil {
+		return err
+	}
+	name := checkpointName(nextLSN)
+	if err := l.writeFileAtomic(name+".tmp", name, appendFrame(nil, payload)); err != nil {
+		l.err = err
+		return err
+	}
+	l.nextLSN = nextLSN
+	if err := l.cutoverLocked(name, nextLSN); err != nil {
+		return err
+	}
+	l.met.ObserveCheckpoint(nextLSN)
+	return nil
+}
+
+// cutoverLocked finishes a checkpoint (or snapshot install) whose file
+// keep is already durable: it seals and retires every other log file and
+// opens a fresh active segment at lsn. Called with gate and mu held.
+func (l *Log) cutoverLocked(keep string, lsn uint64) error {
+	// Everything below the checkpoint LSN is now redundant. Seal the
+	// active segment, drop old files, start fresh.
 	if err := l.f.Sync(); err != nil {
 		l.err = fmt.Errorf("wal: checkpoint seal: %w", err)
 		return l.err
@@ -111,7 +159,7 @@ func (l *Log) Checkpoint(capture func() map[string]adt.State) error {
 		return l.err
 	}
 	for _, n := range names {
-		if n == name {
+		if n == keep {
 			continue
 		}
 		if strings.HasPrefix(n, "wal-") || strings.HasPrefix(n, "ckpt-") {
@@ -120,7 +168,7 @@ func (l *Log) Checkpoint(capture func() map[string]adt.State) error {
 			l.fs.Remove(filepath.Join(l.dir, n))
 		}
 	}
-	segName := segmentName(l.nextLSN)
+	segName := segmentName(lsn)
 	f, err := l.fs.OpenFile(filepath.Join(l.dir, segName), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		l.err = fmt.Errorf("wal: checkpoint segment: %w", err)
@@ -132,8 +180,8 @@ func (l *Log) Checkpoint(capture func() map[string]adt.State) error {
 		return l.err
 	}
 	l.f, l.segName, l.segBytes = f, segName, 0
-	l.ckptLSN = l.nextLSN
-	l.met.ObserveCheckpoint(l.nextLSN)
+	l.ckptLSN = lsn
+	l.advanceDurableLocked()
 	return nil
 }
 

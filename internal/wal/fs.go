@@ -67,9 +67,9 @@ func (OSFS) ReadDir(dir string) ([]string, error) {
 	return names, nil
 }
 
-func (OSFS) Remove(name string) error          { return os.Remove(name) }
+func (OSFS) Remove(name string) error             { return os.Remove(name) }
 func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
-func (OSFS) MkdirAll(dir string) error         { return os.MkdirAll(dir, 0o755) }
+func (OSFS) MkdirAll(dir string) error            { return os.MkdirAll(dir, 0o755) }
 
 func (OSFS) SyncDir(dir string) error {
 	d, err := os.Open(dir)
@@ -205,8 +205,8 @@ func (m *MemFS) Rename(oldname, newname string) error {
 	return nil
 }
 
-func (m *MemFS) MkdirAll(dir string) error  { return nil }
-func (m *MemFS) SyncDir(dir string) error   { return nil }
+func (m *MemFS) MkdirAll(dir string) error { return nil }
+func (m *MemFS) SyncDir(dir string) error  { return nil }
 
 func (m *MemFS) Size(name string) (int64, error) {
 	m.mu.Lock()

@@ -12,10 +12,10 @@ func FuzzSegmentScan(f *testing.F) {
 	valid, _ := marshalRecord(Record{LSN: 0, Commit: &CommitRecord{TID: "T0.1"}})
 	f.Add(appendFrame(nil, valid))
 	f.Add([]byte(""))
-	f.Add([]byte("12 deadbeef\n{}"))          // bad CRC
-	f.Add([]byte("999999999 00000000\n"))     // giant length
-	f.Add([]byte("-5 00000000\n{}\n"))        // negative length
-	f.Add([]byte("2 99999999\n{}\n"))         // wrong checksum for {}
+	f.Add([]byte("12 deadbeef\n{}"))      // bad CRC
+	f.Add([]byte("999999999 00000000\n")) // giant length
+	f.Add([]byte("-5 00000000\n{}\n"))    // negative length
+	f.Add([]byte("2 99999999\n{}\n"))     // wrong checksum for {}
 	f.Add(append(appendFrame(nil, valid), appendFrame(nil, valid)...))
 	torn := appendFrame(nil, valid)
 	f.Add(torn[:len(torn)/2]) // torn tail

@@ -222,3 +222,38 @@ func scanFrame(buf []byte) (payload []byte, frameLen int, err error) {
 	}
 	return payload, end, nil
 }
+
+// ---- replication framing ----
+
+// EncodeFrame appends the CRC-framed encoding of r to dst — byte-
+// identical to what the log writes to a segment, so a shipped
+// replication batch is re-checked against the same checksums on the
+// follower.
+func EncodeFrame(dst []byte, r Record) ([]byte, error) {
+	payload, err := marshalRecord(r)
+	if err != nil {
+		return nil, err
+	}
+	return appendFrame(dst, payload), nil
+}
+
+// DecodeFrames strictly parses a buffer of complete frames (a shipped
+// replication batch): every frame must be intact, checksum and all, and
+// the buffer must end exactly at a frame boundary — a batch is never
+// torn, so any malformation is corruption, not a partial write.
+func DecodeFrames(buf []byte) ([]Record, error) {
+	var out []Record
+	for len(buf) > 0 {
+		payload, n, err := scanFrame(buf)
+		if err != nil {
+			return nil, err
+		}
+		r, err := unmarshalRecord(payload)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		buf = buf[n:]
+	}
+	return out, nil
+}

@@ -75,6 +75,8 @@ type Log struct {
 	segBytes int64  // bytes written to the active segment
 	nextLSN  uint64
 	ckptLSN  uint64 // next LSN after the newest checkpoint (redo low-water)
+	durable  uint64 // every LSN below this is covered by an fsync
+	watchers []chan struct{}
 	waiters  []chan error
 	err      error // latched fatal error: log is read-only from here on
 	closed   bool
@@ -98,11 +100,21 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 	if fs == nil {
 		fs = OSFS{}
 	}
+	// Reject impossible options at the boundary, not mid-commit: a
+	// negative group-commit window would park appenders forever, and a
+	// directory we cannot write to would surface as a failed append on
+	// the first commit.
+	if opts.SyncWindow < 0 {
+		return nil, nil, fmt.Errorf("wal: negative SyncWindow %v", opts.SyncWindow)
+	}
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = defaultSegmentBytes
 	}
 	if err := fs.MkdirAll(dir); err != nil {
 		return nil, nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	if err := probeWritable(fs, dir); err != nil {
+		return nil, nil, fmt.Errorf("wal: data dir %s not writable: %w", dir, err)
 	}
 	rec, err := scanDir(fs, dir, true)
 	if err != nil {
@@ -117,6 +129,7 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 		segLimit: opts.SegmentBytes,
 		nextLSN:  rec.NextLSN,
 		ckptLSN:  rec.CheckpointLSN,
+		durable:  rec.NextLSN, // the recovered prefix is on stable storage
 		kick:     make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -170,7 +183,7 @@ func (l *Log) AppendApply(r Record, apply func() error) error {
 }
 
 func (l *Log) appendDurable(r Record) (uint64, error) {
-	ch, lsn, err := l.enqueue(r)
+	ch, lsn, err := l.enqueue(r, false)
 	if err != nil {
 		return 0, err
 	}
@@ -180,9 +193,35 @@ func (l *Log) appendDurable(r Record) (uint64, error) {
 	return lsn, nil
 }
 
-// enqueue assigns the record its LSN, writes its frame into the active
-// segment and parks a waiter for the next fsync.
-func (l *Log) enqueue(r Record) (chan error, uint64, error) {
+// AppendBatch writes a contiguous run of already-numbered records (a
+// replication batch) and waits for one fsync to cover them all. Unlike
+// Append, the records keep the LSNs they carry — they continue the
+// leader's numbering — and a record whose LSN does not equal the log's
+// next LSN is refused, so a follower's log is always an exact LSN prefix
+// of its leader's. On an error partway, the already-enqueued prefix
+// remains valid (it is contiguous); the caller resynchronises by asking
+// the leader to resume from Stats().NextLSN.
+func (l *Log) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	l.gate.RLock()
+	defer l.gate.RUnlock()
+	var last chan error
+	for i := range recs {
+		ch, _, err := l.enqueue(recs[i], true)
+		if err != nil {
+			return err
+		}
+		last = ch
+	}
+	return <-last
+}
+
+// enqueue assigns the record its LSN (or, with strict set, verifies the
+// LSN it carries continues the sequence), writes its frame into the
+// active segment and parks a waiter for the next fsync.
+func (l *Log) enqueue(r Record, strict bool) (chan error, uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -190,6 +229,9 @@ func (l *Log) enqueue(r Record) (chan error, uint64, error) {
 	}
 	if l.err != nil {
 		return nil, 0, fmt.Errorf("wal: log failed: %w", l.err)
+	}
+	if strict && r.LSN != l.nextLSN {
+		return nil, 0, fmt.Errorf("wal: batch LSN gap: got %d, want %d", r.LSN, l.nextLSN)
 	}
 	r.LSN = l.nextLSN
 	payload, err := marshalRecord(r)
@@ -236,6 +278,7 @@ func (l *Log) rotateLocked() error {
 	if err != nil {
 		return fmt.Errorf("wal: rotate sync: %w", err)
 	}
+	l.advanceDurableLocked()
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: rotate close: %w", err)
 	}
@@ -291,6 +334,9 @@ func (l *Log) flushBatch() {
 	if err != nil && l.err == nil {
 		l.err = fmt.Errorf("wal: fsync: %w", err)
 	}
+	if err == nil {
+		l.advanceDurableLocked()
+	}
 	batch := l.waiters
 	l.waiters = nil
 	l.mu.Unlock()
@@ -316,6 +362,9 @@ func (l *Log) Sync() error {
 	l.waiters = nil
 	if err != nil && l.err == nil {
 		l.err = fmt.Errorf("wal: fsync: %w", err)
+	}
+	if err == nil {
+		l.advanceDurableLocked()
 	}
 	l.mu.Unlock()
 	for _, ch := range batch {
@@ -348,6 +397,7 @@ func (l *Log) Close() error {
 // Stats reports the log's position.
 type Stats struct {
 	NextLSN       uint64 // LSN the next append will get
+	DurableLSN    uint64 // every LSN below this is covered by an fsync
 	CheckpointLSN uint64 // redo low-water mark (0 = no checkpoint)
 	Segment       string // active segment file name
 	SegmentBytes  int64  // bytes in the active segment
@@ -359,6 +409,7 @@ func (l *Log) Stats() Stats {
 	defer l.mu.Unlock()
 	return Stats{
 		NextLSN:       l.nextLSN,
+		DurableLSN:    l.durable,
 		CheckpointLSN: l.ckptLSN,
 		Segment:       l.segName,
 		SegmentBytes:  l.segBytes,
@@ -367,3 +418,76 @@ func (l *Log) Stats() Stats {
 
 // Dir returns the log directory.
 func (l *Log) Dir() string { return l.dir }
+
+// FS returns the backing file system (the replication shipper tails the
+// directory through the same FS the log writes it with).
+func (l *Log) FS() FS { return l.fs }
+
+// DurableLSN returns the stable-storage high-water mark: every record
+// with a smaller LSN has been covered by a successful fsync. A
+// replication leader ships only records below this mark, so a follower
+// can never hold a record its leader might lose in a crash.
+func (l *Log) DurableLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durable
+}
+
+// Watch registers a coalescing notification channel: it receives (at
+// least) one send whenever the durable LSN advances. Pair with Unwatch.
+func (l *Log) Watch() <-chan struct{} {
+	ch := make(chan struct{}, 1)
+	l.mu.Lock()
+	l.watchers = append(l.watchers, ch)
+	l.mu.Unlock()
+	return ch
+}
+
+// Unwatch deregisters a channel returned by Watch.
+func (l *Log) Unwatch(ch <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, w := range l.watchers {
+		if w == ch {
+			l.watchers = append(l.watchers[:i], l.watchers[i+1:]...)
+			return
+		}
+	}
+}
+
+// advanceDurableLocked publishes the current nextLSN as durable (called
+// with l.mu held, immediately after a successful fsync of the active
+// segment) and pokes every watcher.
+func (l *Log) advanceDurableLocked() {
+	if l.nextLSN == l.durable {
+		return
+	}
+	l.durable = l.nextLSN
+	for _, ch := range l.watchers {
+		select {
+		case ch <- struct{}{}:
+		default: // already pending; the watcher will see the new mark
+		}
+	}
+}
+
+// probeWritable creates, writes and removes a scratch file so an
+// unwritable data directory fails Open with an explicit error instead of
+// failing the first commit.
+func probeWritable(fs FS, dir string) error {
+	path := filepath.Join(dir, ".wal-probe.tmp")
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, werr := f.Write([]byte("probe\n")); werr != nil {
+		f.Close()
+		fs.Remove(path)
+		return werr
+	}
+	if cerr := f.Close(); cerr != nil {
+		fs.Remove(path)
+		return cerr
+	}
+	return fs.Remove(path)
+}

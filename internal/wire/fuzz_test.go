@@ -14,18 +14,18 @@ import (
 // proportionally to a length prefix it hasn't validated.
 func FuzzReadFrame(f *testing.F) {
 	seeds := [][]byte{
-		[]byte(""),                          // clean EOF
-		[]byte("2\n{}\n"),                   // minimal valid frame
-		[]byte("2\n{}"),                     // truncated: missing newline
-		[]byte("2\n{"),                      // truncated payload
-		[]byte("99999999\n"),                // giant length, no body
+		[]byte(""),                           // clean EOF
+		[]byte("2\n{}\n"),                    // minimal valid frame
+		[]byte("2\n{}"),                      // truncated: missing newline
+		[]byte("2\n{"),                       // truncated payload
+		[]byte("99999999\n"),                 // giant length, no body
 		[]byte("999999999999999999999999\n"), // length overflows int
-		[]byte("-3\n{}\n"),                  // negative length
-		[]byte("nope\n{}\n"),                // non-numeric length
-		[]byte("4\n{}\nX"),                  // wrong terminator position
-		[]byte("15\n{\"seq\":1,bad}\nx"),    // bad JSON of advertised size
+		[]byte("-3\n{}\n"),                   // negative length
+		[]byte("nope\n{}\n"),                 // non-numeric length
+		[]byte("4\n{}\nX"),                   // wrong terminator position
+		[]byte("15\n{\"seq\":1,bad}\nx"),     // bad JSON of advertised size
 		[]byte("44\n{\"seq\":1,\"type\":\"WRITE\",\"op\":{\"t\":\"zzz\"}}\n"), // unknown op tag
-		[]byte("2\n{}\n2\n{}\n2\n{}\n"),     // several frames back to back
+		[]byte("2\n{}\n2\n{}\n2\n{}\n"),                                       // several frames back to back
 	}
 	// A genuine frame as produced by the writer, so the fuzzer starts
 	// from the happy path too.

@@ -45,16 +45,25 @@ const MaxResponseSize = 8 << 20
 // Request types. Each carries the fields noted; unused fields are
 // omitted from the JSON.
 const (
-	TBegin  = "BEGIN"  // open a top-level transaction → Tx handle
-	TSub    = "SUB"    // Tx: open a subtransaction of handle Tx → new handle
-	TRead   = "READ"   // Tx, Obj, Op: read-only access
-	TWrite  = "WRITE"  // Tx, Obj, Op: mutating access
-	TCommit = "COMMIT" // Tx: commit the handle
-	TAbort  = "ABORT"  // Tx: abort the handle
+	TBegin   = "BEGIN"   // open a top-level transaction → Tx handle
+	TSub     = "SUB"     // Tx: open a subtransaction of handle Tx → new handle
+	TRead    = "READ"    // Tx, Obj, Op: read-only access
+	TWrite   = "WRITE"   // Tx, Obj, Op: mutating access
+	TCommit  = "COMMIT"  // Tx: commit the handle
+	TAbort   = "ABORT"   // Tx: abort the handle
 	TState   = "STATE"   // Obj: committed-to-root state snapshot
 	TStats   = "STATS"   // server + lock-manager counters
 	TMetrics = "METRICS" // latency quantiles, victim breakdown, gauges; Dump adds the trace ring
 	TPing    = "PING"    // liveness / round-trip probe
+
+	// Replication verbs (internal/repl). REPL_HELLO switches the
+	// connection out of request/response into a push stream: the leader
+	// answers with a hello [Repl] payload, then pushes snapshot/batch
+	// frames while reading REPL_ACK requests (which get no responses).
+	TReplHello  = "REPL_HELLO"  // Lsn: follower's resume point (its log's NextLSN)
+	TReplAck    = "REPL_ACK"    // Lsn: follower's durable position (streaming mode only)
+	TReplStatus = "REPL_STATUS" // replication positions and lag, role-dependent
+	TPromote    = "PROMOTE"     // follower only: stop following, recover, verify, accept writes
 )
 
 // Response error codes (Response.Code when OK is false).
@@ -68,6 +77,7 @@ const (
 	CodeBadRequest = "bad_request" // malformed or ill-sequenced request
 	CodeTooLarge   = "too_large"   // the response would exceed MaxResponseSize; session stays usable
 	CodeInternal   = "internal"    // server-side failure
+	CodeReadOnly   = "read_only"   // this server is a replication follower; writes go to its leader
 )
 
 // Request is one client→server frame.
@@ -78,20 +88,76 @@ type Request struct {
 	Obj  string          `json:"obj,omitempty"`  // object name (READ/WRITE/STATE)
 	Op   json.RawMessage `json:"op,omitempty"`   // adt-encoded operation (READ/WRITE)
 	Dump bool            `json:"dump,omitempty"` // METRICS: include the event trace ring
+	Lsn  uint64          `json:"lsn,omitempty"`  // REPL_HELLO: resume point; REPL_ACK: durable position
 }
 
 // Response is one server→client frame.
 type Response struct {
-	Seq   uint64          `json:"seq"`
-	OK    bool            `json:"ok"`
-	Code  string          `json:"code,omitempty"`
-	Err   string          `json:"err,omitempty"`
-	Tx    uint64          `json:"tx,omitempty"`    // new handle (BEGIN/SUB)
-	TxID  string          `json:"txid,omitempty"`  // paper-tree name, e.g. "T0.3.1" (BEGIN/SUB)
-	Value json.RawMessage `json:"value,omitempty"` // adt-encoded access result (READ/WRITE)
-	State   json.RawMessage `json:"state,omitempty"`   // adt-encoded object state (STATE)
-	Stats   *Stats          `json:"stats,omitempty"`   // STATS
-	Metrics *Metrics        `json:"metrics,omitempty"` // METRICS
+	Seq        uint64          `json:"seq"`
+	OK         bool            `json:"ok"`
+	Code       string          `json:"code,omitempty"`
+	Err        string          `json:"err,omitempty"`
+	Tx         uint64          `json:"tx,omitempty"`          // new handle (BEGIN/SUB)
+	TxID       string          `json:"txid,omitempty"`        // paper-tree name, e.g. "T0.3.1" (BEGIN/SUB)
+	Value      json.RawMessage `json:"value,omitempty"`       // adt-encoded access result (READ/WRITE)
+	State      json.RawMessage `json:"state,omitempty"`       // adt-encoded object state (STATE)
+	Stats      *Stats          `json:"stats,omitempty"`       // STATS
+	Metrics    *Metrics        `json:"metrics,omitempty"`     // METRICS
+	Repl       *Repl           `json:"repl,omitempty"`        // REPL_HELLO reply and pushed stream frames
+	ReplStatus *ReplStatus     `json:"repl_status,omitempty"` // REPL_STATUS
+}
+
+// Repl stream-frame kinds (Repl.Kind).
+const (
+	ReplHello    = "hello"    // REPL_HELLO reply: the negotiated resume point
+	ReplSnapshot = "snapshot" // full-state install: the follower is below the leader's low-water mark
+	ReplBatch    = "batch"    // a run of checksummed log records (Count 0 = heartbeat)
+)
+
+// Repl is one leader→follower replication stream frame, carried in a
+// Response on a connection adopted via REPL_HELLO. Record payloads cross
+// the wire in the WAL's own CRC32C framing (Frames holds concatenated
+// frames, base64-coded by JSON), so the follower re-verifies every
+// checksum before appending — a bit flipped in transit is caught exactly
+// like a bit flipped on disk.
+type Repl struct {
+	Kind       string `json:"kind"`
+	NextLSN    uint64 `json:"next_lsn,omitempty"`    // hello: resume point; snapshot: checkpoint LSN
+	DurableLSN uint64 `json:"durable_lsn,omitempty"` // leader's durable mark at send time
+	FirstLSN   uint64 `json:"first_lsn,omitempty"`   // batch: LSN of the first record in Frames
+	Count      int    `json:"count,omitempty"`       // batch: records in Frames (0 = heartbeat)
+	SentUnixNS int64  `json:"sent_unix_ns,omitempty"`
+	Frames     []byte `json:"frames,omitempty"` // batch: concatenated CRC-framed records
+	// States is the snapshot payload: every object's committed state in
+	// the adt codec encoding, as of NextLSN.
+	States map[string]json.RawMessage `json:"states,omitempty"`
+}
+
+// ReplFollower is one follower's position as the leader sees it.
+type ReplFollower struct {
+	Remote     string  `json:"remote"`
+	AckLSN     uint64  `json:"ack_lsn"`     // all records below this are durable on the follower
+	LagRecords uint64  `json:"lag_records"` // leader durable LSN − AckLSN
+	LagSeconds float64 `json:"lag_seconds"` // time since the follower last made progress (0 when caught up)
+}
+
+// ReplStatus is the REPL_STATUS payload. Role decides which half is
+// meaningful: a leader reports its log marks and per-follower lag, a
+// follower reports its own applied position against the leader's durable
+// mark.
+type ReplStatus struct {
+	Role          string `json:"role"` // "leader" | "follower"
+	NextLSN       uint64 `json:"next_lsn"`
+	DurableLSN    uint64 `json:"durable_lsn"`
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
+
+	Followers []ReplFollower `json:"followers,omitempty"` // leader
+
+	Leader           string  `json:"leader,omitempty"` // follower: leader address
+	LeaderDurableLSN uint64  `json:"leader_durable_lsn,omitempty"`
+	LagRecords       uint64  `json:"lag_records,omitempty"`
+	LagSeconds       float64 `json:"lag_seconds,omitempty"`
+	Connected        bool    `json:"connected,omitempty"` // follower: stream currently up
 }
 
 // Stats is the STATS payload: the server's own counters plus the
@@ -174,6 +240,20 @@ type Metrics struct {
 	WalMaxBatch      uint64 `json:"wal_max_batch,omitempty"`
 	WalCheckpoints   uint64 `json:"wal_checkpoints,omitempty"`
 	WalCheckpointLSN uint64 `json:"wal_checkpoint_lsn,omitempty"`
+
+	// Replication block; all-zero off replication. ShipLatency is the
+	// leader-side batch→covering-ack round trip. The lag pair is the
+	// leader's worst follower (or the follower's own position): records
+	// behind the durable mark, and seconds since progress was last made.
+	ShipLatency        HistQ   `json:"ship_latency,omitzero"`
+	ReplBatches        uint64  `json:"repl_batches,omitempty"`
+	ReplRecordsShipped uint64  `json:"repl_records_shipped,omitempty"`
+	ReplAcks           uint64  `json:"repl_acks,omitempty"`
+	ReplBatchesApplied uint64  `json:"repl_batches_applied,omitempty"`
+	ReplRecordsApplied uint64  `json:"repl_records_applied,omitempty"`
+	ReplFollowers      int64   `json:"repl_followers,omitempty"`
+	ReplLagRecords     int64   `json:"repl_lag_records,omitempty"`
+	ReplLagSeconds     float64 `json:"repl_lag_seconds,omitempty"`
 
 	TraceDropped uint64       `json:"trace_dropped,omitempty"` // ring overwrites since start
 	Trace        []TraceEntry `json:"trace,omitempty"`
