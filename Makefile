@@ -25,6 +25,7 @@ race: vet
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
 	$(GO) test -run XXX -bench ServerThroughput -benchtime 200x ./internal/server
+	$(GO) test -run XXX -bench ShardScaling -benchtime 1000x ./internal/lockmgr
 
 # Smoke-run every benchmark once (CI: catches bit-rot in bench code
 # without paying for statistically meaningful timings).

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"nestedtx"
+	"nestedtx/internal/wire"
 )
 
 // ReplicaPool fronts a replicated deployment: a [Pool] of connections
@@ -29,6 +30,12 @@ type ReplicaPool struct {
 	size int
 	opts []Option
 
+	// probeMu serialises Failover's endpoint probing. It is a separate
+	// mutex so a probe's network dials never stall readers of the state
+	// below: rp.mu is only ever held for field access, never across I/O.
+	// Lock order: probeMu before mu, never the reverse.
+	probeMu sync.Mutex
+
 	mu       sync.Mutex
 	leader   string
 	addrs    []string // every known endpoint, leader included
@@ -38,6 +45,8 @@ type ReplicaPool struct {
 	closed   bool
 
 	failovers uint64
+	probes    uint64 // completed Failover probe rounds, for coalescing
+	lastProbe error  // outcome of the last round (nil = leader reachable)
 }
 
 // NewReplicaPool connects a transaction pool of size connections to
@@ -120,6 +129,18 @@ func (rp *ReplicaPool) replicaConn(addr string) (*Client, error) {
 	return fresh, nil
 }
 
+// txPool snapshots the current transaction pool under rp.mu. Failover
+// swaps and closes rp.pool concurrently; callers must work on a
+// snapshot, never read the field directly. A transaction in flight on a
+// swapped-out pool finishes safely: Pool.Close only closes idle
+// connections, and a borrowed connection returned to a closed pool is
+// closed on Put.
+func (rp *ReplicaPool) txPool() *Pool {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.pool
+}
+
 // ReadState reads an object's committed-to-root state, preferring
 // replicas and falling back to the leader. Replica answers may trail
 // the leader by the replication lag.
@@ -143,14 +164,15 @@ func (rp *ReplicaPool) ReadState(obj string) (nestedtx.State, error) {
 		}
 	}
 	// No replica could answer: the leader always can.
-	c, err := rp.pool.Get()
+	pool := rp.txPool()
+	c, err := pool.Get()
 	if err != nil {
 		if lastErr != nil {
 			return nil, fmt.Errorf("replica reads failed (%v); leader: %w", lastErr, err)
 		}
 		return nil, err
 	}
-	defer rp.pool.Put(c)
+	defer pool.Put(c)
 	return c.State(obj)
 }
 
@@ -161,14 +183,14 @@ func (rp *ReplicaPool) ReadState(obj string) (nestedtx.State, error) {
 // this is safe because a transaction on a lost or read-only session
 // never commits.)
 func (rp *ReplicaPool) Run(fn func(*Tx) error) error {
-	err := rp.pool.Run(fn)
+	err := rp.txPool().Run(fn)
 	if err == nil || (!errors.Is(err, ErrReadOnly) && !errors.Is(err, ErrConnLost)) {
 		return err
 	}
 	if ferr := rp.Failover(); ferr != nil {
 		return errors.Join(err, ferr)
 	}
-	return rp.pool.Run(fn)
+	return rp.txPool().Run(fn)
 }
 
 // RunRetry is Run with Pool.RunRetry's retry policy on top: deadlock
@@ -192,16 +214,43 @@ func (rp *ReplicaPool) RunRetry(attempts int, fn func(*Tx) error) error {
 
 // Failover probes every known endpoint for the current leader and, on
 // a change, repoints the transaction pool at it. Concurrent callers
-// coalesce: whoever holds the lock probes, the rest inherit the
-// result. Returns nil if a leader (new or unchanged) is reachable.
+// coalesce: whoever holds probeMu probes, callers that were queued
+// behind a completed probe inherit its result without re-probing. The
+// state mutex is never held across the network dials, so Leader,
+// ReadState and Run proceed while a probe is stuck on a dead endpoint.
+// Returns nil if a leader (new or unchanged) is reachable.
 func (rp *ReplicaPool) Failover() error {
 	rp.mu.Lock()
-	defer rp.mu.Unlock()
 	if rp.closed {
+		rp.mu.Unlock()
 		return ErrPoolClosed
 	}
+	probesBefore := rp.probes
+	addrs := append([]string(nil), rp.addrs...)
+	rp.mu.Unlock()
+
+	rp.probeMu.Lock()
+	defer rp.probeMu.Unlock()
+
+	rp.mu.Lock()
+	if rp.closed {
+		rp.mu.Unlock()
+		return ErrPoolClosed
+	}
+	if rp.probes != probesBefore {
+		// A probe round completed while this caller was queued behind
+		// probeMu: inherit its outcome instead of re-probing — an
+		// immediate rerun would see the same cluster.
+		err := rp.lastProbe
+		rp.mu.Unlock()
+		return err
+	}
+	rp.mu.Unlock()
+
 	var firstErr error
-	for _, addr := range rp.addrs {
+	newLeader, switched := "", false
+	var newPool *Pool
+	for _, addr := range addrs {
 		role, err := probeRole(addr, rp.opts)
 		if err != nil {
 			if firstErr == nil {
@@ -212,30 +261,60 @@ func (rp *ReplicaPool) Failover() error {
 		if role != "leader" {
 			continue
 		}
-		if addr == rp.leader {
-			return nil // unchanged; the pool redials on its own
+		newLeader = addr
+		if addr == rp.Leader() {
+			break // unchanged; the pool redials on its own
 		}
 		pool, err := NewPool(addr, rp.size, rp.opts...)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
+			newLeader = ""
 			continue
 		}
-		rp.pool.Close()
-		rp.pool = pool
-		rp.leader = addr
+		newPool, switched = pool, true
+		break
+	}
+
+	var outcome error
+	if newLeader == "" {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("no endpoint in %v answers as leader", addrs)
+		}
+		outcome = fmt.Errorf("client: failover: %w", firstErr)
+	}
+
+	rp.mu.Lock()
+	rp.probes++
+	rp.lastProbe = outcome
+	if rp.closed {
+		rp.mu.Unlock()
+		if newPool != nil {
+			newPool.Close()
+		}
+		return ErrPoolClosed
+	}
+	var oldPool *Pool
+	if switched {
+		oldPool = rp.pool
+		rp.pool = newPool
+		rp.leader = newLeader
 		rp.failovers++
-		return nil
 	}
-	if firstErr == nil {
-		firstErr = fmt.Errorf("no endpoint in %v answers as leader", rp.addrs)
+	rp.mu.Unlock()
+	if oldPool != nil {
+		oldPool.Close()
 	}
-	return fmt.Errorf("client: failover: %w", firstErr)
+	return outcome
 }
 
 // probeRole asks one endpoint for its replication role. A server
-// without replication configured is a plain leader.
+// without replication configured answers REPL_STATUS with
+// wire.CodeNotConfigured — that, and only that, marks a standalone
+// writable server; any other server-side error (bad_request, too_large,
+// internal, …) says nothing about the role and is reported as a probe
+// failure.
 func probeRole(addr string, opts []Option) (string, error) {
 	c, err := Dial(addr, opts...)
 	if err != nil {
@@ -245,8 +324,8 @@ func probeRole(addr string, opts []Option) (string, error) {
 	rs, err := c.ReplStatus()
 	if err != nil {
 		var e *Error
-		if errors.As(err, &e) {
-			// "replication not configured": a standalone writable server.
+		if errors.As(err, &e) && e.Code == wire.CodeNotConfigured {
+			// Replication not configured: a standalone writable server.
 			return "leader", nil
 		}
 		return "", err

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	txsim [-exp e3|e4|e5|e7|e9|all] [-seed S] [-json]
+//	txsim [-exp e3|e4|e5|e7|e9|all] [-seed S] [-json] [-shards N]
 package main
 
 import (
@@ -21,7 +21,9 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: e3, e4, e5, e7, e9 or all")
 	seed := flag.Int64("seed", 1, "workload seed")
 	asJSON := flag.Bool("json", false, "emit one JSON object per experiment row instead of tables")
+	shards := flag.Int("shards", 0, "lock-manager shard count (0 = GOMAXPROCS)")
 	flag.Parse()
+	sim.DefaultLockShards = *shards
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 

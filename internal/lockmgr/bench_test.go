@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"nestedtx/internal/adt"
@@ -26,9 +27,10 @@ import (
 // queueDepth reports how many waiters are currently blocked on x, so the
 // benchmark can hold a commit until the contending reader has parked.
 func (m *Manager) queueDepth(x string) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.objects[x].queue)
+	sh := m.shardFor(x)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.objects[x].queue)
 }
 
 // reportWakeups reports wakeup fan-out per measured iteration.
@@ -91,6 +93,55 @@ func BenchmarkCommitFootprint(b *testing.B) {
 				m.Abort(tx)
 			}
 		})
+	}
+}
+
+// BenchmarkShardScaling sweeps GOMAXPROCS × shard-count over a workload
+// of disjoint-footprint transactions: each worker owns 4 private objects
+// and runs acquire×4 → commit in a loop, so transactions never conflict
+// and the only serialisation left is the lock-table mutex itself. With
+// shards=1 every commit funnels through one mutex (the pre-shard
+// design); with shards=procs the footprints hash across independent
+// shards and commits proceed in parallel. Results are tracked in
+// BENCH_shard.json at the repo root (see EXPERIMENTS.md E15 for the
+// caveat about measuring on a 1-core container).
+func BenchmarkShardScaling(b *testing.B) {
+	const footprint = 4
+	// maxWorkers bounds the worker IDs RunParallel can hand out; each
+	// worker's objects are registered up front for every case.
+	const maxWorkers = 32
+	for _, procs := range []int{1, 4, 16} {
+		for _, shards := range []int{1, 16} {
+			b.Run(fmt.Sprintf("procs=%d/shards=%d", procs, shards), func(b *testing.B) {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+				m := NewSharded(nil, core.ReadWrite, nil, shards)
+				for w := 0; w < maxWorkers; w++ {
+					for k := 0; k < footprint; k++ {
+						if err := m.Register(fmt.Sprintf("w%d_o%d", w, k), adt.NewRegister(int64(0))); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				var widCtr atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					w := int(widCtr.Add(1)-1) % maxWorkers
+					names := make([]string, footprint)
+					for k := range names {
+						names[k] = fmt.Sprintf("w%d_o%d", w, k)
+					}
+					for i := 0; pb.Next(); i++ {
+						tx := tree.Root.Child(w*10_000_000 + i)
+						for k, x := range names {
+							if _, err := m.Acquire(tx, tx.Child(k), x, adt.RegWrite{V: int64(i)}, nil); err != nil {
+								b.Fatal(err)
+							}
+						}
+						m.Commit(tx, int64(0))
+					}
+				})
+			})
+		}
 	}
 }
 

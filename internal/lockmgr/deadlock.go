@@ -1,0 +1,226 @@
+package lockmgr
+
+import "nestedtx/internal/tree"
+
+// The wait-for graph needs two kinds of edges. A waiter blocked by holder
+// H is really waiting for every transaction from H up to (but excluding)
+// lca(H, access) to commit — only then has the lock been inherited high
+// enough to become an ancestor's — so a lock edge goes from the waiting
+// transaction to each member of that chain. And a transaction cannot
+// commit before its descendants return, so a structural edge goes from
+// every proper ancestor of a waiting transaction down to it. Cycles in
+// this combined graph are exactly the executions that cannot progress
+// without an abort.
+//
+// The graph is never materialised: successors are enumerated on demand
+// from the per-object queues (via the waiting index), and the search
+// starts only from the transactions whose outgoing edges the triggering
+// event changed — a new cycle must pass through one of them. Detection
+// cost therefore scales with the reachable component of the change, not
+// with the total number of waiters in the system.
+//
+// Under sharding the graph is partitioned too: a shard's waiting index
+// only knows the wait edges of its own queues. The walk therefore runs in
+// one of two modes. The local mode holds a single shard mutex and is
+// sound only while every transaction it visits has all its tree's
+// waiters in that shard — the striped waiter counts answer that in O(1)
+// per node (treeConfined). The first unconfined node aborts the local
+// walk before any of its possibly-missing edges could be followed, and
+// the caller escalates: drop the shard mutex, take every shard mutex in
+// ascending id order (the global shard-lock order), and rerun the same
+// DFS over the union of all shards' indexes. Holding all shard mutexes
+// makes the snapshot exactly as consistent as the old single-mutex walk,
+// and serialises escalated walks against each other and against every
+// local walk, so each cycle still elects exactly one victim: two local
+// walks in different shards can never see the same cycle (a cycle
+// visible to a local walk has every member tree confined to that shard).
+
+// graphView enumerates wait-for edges from either one shard's indexes
+// (local, the shard's mutex held) or every shard's (escalated, all
+// mutexes held).
+type graphView struct {
+	m     *Manager
+	local *shard // nil in escalated mode
+}
+
+func (g graphView) eachWaiter(t tree.TID, f func(*waiter)) {
+	if g.local != nil {
+		for _, w := range g.local.waiting[t] {
+			f(w)
+		}
+		return
+	}
+	for _, sh := range g.m.shards {
+		for _, w := range sh.waiting[t] {
+			f(w)
+		}
+	}
+}
+
+func (g graphView) eachTopWaiting(top tree.TID, f func(tree.TID)) {
+	if g.local != nil {
+		for u := range g.local.topWaiting[top] {
+			f(u)
+		}
+		return
+	}
+	for _, sh := range g.m.shards {
+		for u := range sh.topWaiting[top] {
+			f(u)
+		}
+	}
+}
+
+// succ appends t's wait-for successors to buf and returns it.
+func (g graphView) succ(t tree.TID, buf []tree.TID) []tree.TID {
+	// Lock edges: for each of t's waits, the holder chains that must
+	// commit before the wait can be granted.
+	g.eachWaiter(t, func(wt *waiter) {
+		ls := wt.ls
+		addChain := func(holder tree.TID) {
+			lca := tree.LCA(holder, wt.access)
+			for u := holder; u != lca && u != tree.Root; u = u.Parent() {
+				if u != t {
+					buf = append(buf, u)
+				}
+			}
+		}
+		for u := range ls.write {
+			if !u.IsAncestorOf(wt.access) {
+				addChain(u)
+			}
+		}
+		if wt.write {
+			for u := range ls.read {
+				if !u.IsAncestorOf(wt.access) {
+					addChain(u)
+				}
+			}
+		}
+	})
+	// Structural edges: t is gated on every waiting proper descendant.
+	// Descendants share t's top-level ancestor, so only that tree's
+	// waiting transactions are scanned.
+	g.eachTopWaiting(topOf(t), func(u tree.TID) {
+		if t.IsProperAncestorOf(u) {
+			buf = append(buf, u)
+		}
+	})
+	return buf
+}
+
+// detect looks for a wait-for cycle reachable from the start transactions
+// and returns the chosen victim's waiter, or nil. In local mode it
+// additionally returns escalate=true (and no victim) the moment it
+// reaches a transaction whose tree has waiters outside the local shard —
+// the local view might be missing edges of that node, so only the
+// all-shard walk can decide.
+func (g graphView) detect(starts []tree.TID) (victim *waiter, escalate bool) {
+	visited := map[tree.TID]bool{}
+	onPath := map[tree.TID]bool{}
+	var path []tree.TID
+	escalated := false
+	var dfs func(t tree.TID) []tree.TID
+	dfs = func(t tree.TID) []tree.TID {
+		if onPath[t] {
+			// Extract the cycle suffix.
+			for i, u := range path {
+				if u == t {
+					return append([]tree.TID(nil), path[i:]...)
+				}
+			}
+			return append([]tree.TID(nil), path...)
+		}
+		if visited[t] {
+			return nil
+		}
+		if g.local != nil && !g.m.treeConfined(topOf(t), g.local.id) {
+			escalated = true
+			return nil
+		}
+		visited[t] = true
+		onPath[t] = true
+		path = append(path, t)
+		for _, u := range g.succ(t, nil) {
+			if u == tree.Root {
+				continue
+			}
+			if c := dfs(u); c != nil || escalated {
+				return c
+			}
+		}
+		onPath[t] = false
+		path = path[:len(path)-1]
+		return nil
+	}
+	var cycle []tree.TID
+	for _, s := range starts {
+		if cycle = dfs(s); cycle != nil || escalated {
+			break
+		}
+	}
+	if escalated {
+		return nil, true
+	}
+	if cycle == nil {
+		return nil, false
+	}
+	// Victim: the deepest transaction in the cycle that is actually
+	// waiting, breaking level ties in favour of the latest sibling —
+	// path components compare numerically, so T0.10 outranks T0.9.
+	for _, t := range cycle {
+		g.eachWaiter(t, func(cand *waiter) {
+			if victim == nil || cand.tx.Level() > victim.tx.Level() ||
+				(cand.tx.Level() == victim.tx.Level() && tree.Compare(cand.tx, victim.tx) > 0) {
+				victim = cand
+			}
+		})
+	}
+	return victim, false
+}
+
+// breakCyclesLocked finds wait-for cycles reachable from the given start
+// transactions within this shard and aborts one victim per cycle found.
+// It returns true when the walk reached a transaction whose wait edges
+// may leave the shard — the caller must then drop sh.mu and run
+// breakCyclesGlobal with the same starts. Caller holds sh.mu.
+func (sh *shard) breakCyclesLocked(starts []tree.TID) (escalate bool) {
+	g := graphView{m: sh.m, local: sh}
+	for {
+		victim, esc := g.detect(starts)
+		if esc {
+			return true
+		}
+		if victim == nil {
+			return false
+		}
+		victim.victim = true
+		close(victim.wake)
+		sh.dequeueLocked(victim)
+		sh.stats.Deadlocks++
+	}
+}
+
+// breakCyclesGlobal is the escalated walk: it takes every shard mutex in
+// ascending id order and runs detection over the union of all shards'
+// wait indexes. Callers must hold no shard mutex.
+func (m *Manager) breakCyclesGlobal(starts []tree.TID) {
+	m.escalations.Add(1)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+	}
+	g := graphView{m: m}
+	for {
+		victim, _ := g.detect(starts)
+		if victim == nil {
+			break
+		}
+		victim.victim = true
+		close(victim.wake)
+		victim.sh.dequeueLocked(victim)
+		victim.sh.stats.Deadlocks++
+	}
+	for i := len(m.shards) - 1; i >= 0; i-- {
+		m.shards[i].mu.Unlock()
+	}
+}

@@ -15,15 +15,25 @@
 // locked, and waiters queue on the object they are blocked on, so a
 // commit or abort wakes only the waiters whose lock tables it changed.
 //
-// All lock-table transitions happen under one manager mutex and are
+// The lock tables are partitioned into N independent shards keyed by
+// hash(object name) % N. The paper's locking rules are per-object — a
+// lock's holders, waiters, and M(X)'s version map are all keyed by X — so
+// the partition preserves the formal model exactly: each object's
+// transitions still happen atomically under its shard's mutex and are
 // recorded in the formal event vocabulary, so the schedule of a live run
 // can be machine-checked against Theorem 34 by internal/checker.
+// Cross-shard concerns (Commit/Abort footprints, deadlock cycles that
+// span shards) go through a striped per-tree index; see shard.go and
+// deadlock.go for the protocols.
 package lockmgr
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nestedtx/internal/adt"
@@ -42,8 +52,8 @@ var ErrDeadlock = errors.New("lockmgr: deadlock victim")
 // closed while waiting.
 var ErrCancelled = errors.New("lockmgr: acquire cancelled")
 
-// Stats counts manager activity. Read a consistent copy via
-// Manager.Stats.
+// Stats counts manager activity, aggregated across shards. Read a
+// consistent copy via Manager.Stats.
 type Stats struct {
 	Acquires      uint64 // granted lock acquisitions
 	Waits         uint64 // acquisitions that blocked at least once
@@ -54,77 +64,229 @@ type Stats struct {
 	Wakeups         uint64 // waiter wakeups issued by commits/aborts
 	SpuriousWakeups uint64 // wakeups after which the waiter was still blocked
 	MaxQueueDepth   uint64 // high-water mark of any per-object wait queue
+
+	Shards      uint64 // number of lock shards (configuration, not a counter)
+	Escalations uint64 // deadlock walks that had to snapshot every shard
 }
 
 // Manager owns the lock tables and version maps of every registered object
-// and the wait queues of every blocked acquisition.
+// and the wait queues of every blocked acquisition, partitioned into
+// shards by object name.
 type Manager struct {
 	mode core.Mode
 	rec  *event.Recorder
 	met  *obs.Metrics // nil disables observability
 
-	mu      sync.Mutex
-	objects map[string]*lockState
-	// held is the held-locks index: for every transaction holding at
-	// least one lock, the set of objects it holds a (read or write) lock
-	// on. Commit and Abort walk this index instead of the whole universe.
-	held map[tree.TID]map[*lockState]struct{}
-	// contended is the set of objects with a non-empty wait queue, so
-	// invariant checks walk only the queues that exist.
-	contended map[*lockState]struct{}
-	// waiting indexes the queued waiters by their transaction, for
-	// demand-driven wait-for-graph exploration and victim selection.
-	waiting map[tree.TID][]*waiter
-	// topWaiting groups the waiting transactions by their top-level
-	// ancestor. Structural wait-for edges (ancestor → waiting descendant)
-	// never cross a top-level boundary, so successor enumeration scans
-	// only the waiting transactions of one tree.
-	topWaiting map[tree.TID]map[tree.TID]struct{}
-	stats      Stats
+	shards      []*shard
+	stripes     []indexStripe
+	escalations atomic.Uint64
 }
 
-// lockState is the M(X) state for one object: the two lock tables, the
-// version map (defined exactly on the write-lockholders), and the queue
-// of acquisitions blocked on this object.
-type lockState struct {
-	name     string
-	read     tree.Set
-	write    tree.Set
-	versions map[tree.TID]adt.State
-	queue    []*waiter
+// indexStripe holds the cross-shard per-tree indexes for a slice of the
+// top-level TID space. Two maps, both keyed by top-level transaction:
+//
+//   - held: the set of shard ids where the tree holds (or ever held, until
+//     it ends) at least one lock — the footprint Commit and Abort visit.
+//     Entries are deleted when the top-level transaction commits or
+//     aborts; over-approximation in between is harmless (a visited shard
+//     with nothing to move is a no-op).
+//   - waits: per-shard count of the tree's queued waiters — the
+//     confinement test deadlock detection uses to decide whether a local
+//     walk is sound or must escalate.
+//
+// Lock order: a stripe mutex is only ever taken while holding at most the
+// shard mutexes already held by the caller, and no shard mutex is ever
+// taken while holding a stripe mutex.
+type indexStripe struct {
+	mu    sync.Mutex
+	held  map[tree.TID]map[int]struct{}
+	waits map[tree.TID]map[int]int
 }
 
-type waiter struct {
-	tx     tree.TID // the live transaction performing the access
-	access tree.TID
-	ls     *lockState // the object the waiter is queued on
-	write  bool       // whether the access needs a write lock
-	wake   chan struct{}
-	victim bool
+const numStripes = 64
+
+// fnv32 is FNV-1a, inlined to keep the shard lookup allocation-free.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// ShardOf returns the shard index object x maps to in a manager with the
+// given shard count. Exported so tests and tools can construct object
+// names with known shard placement.
+func ShardOf(x string, shards int) int {
+	return int(fnv32(x) % uint32(shards))
 }
 
 // New returns a Manager recording to rec (nil disables recording) with the
-// given lock classification mode. met, when non-nil, receives lock-wait
-// latencies, victim counts by cause, and queue-depth gauges.
+// given lock classification mode and runtime.GOMAXPROCS(0) shards. met,
+// when non-nil, receives lock-wait latencies, victim counts by cause, and
+// queue-depth gauges.
 func New(rec *event.Recorder, mode core.Mode, met *obs.Metrics) *Manager {
-	return &Manager{
-		mode:       mode,
-		rec:        rec,
-		met:        met,
-		objects:    make(map[string]*lockState),
-		held:       make(map[tree.TID]map[*lockState]struct{}),
-		contended:  make(map[*lockState]struct{}),
-		waiting:    make(map[tree.TID][]*waiter),
-		topWaiting: make(map[tree.TID]map[tree.TID]struct{}),
-	}
+	return NewSharded(rec, mode, met, 0)
 }
+
+// NewSharded is New with an explicit shard count; n < 1 selects
+// runtime.GOMAXPROCS(0).
+func NewSharded(rec *event.Recorder, mode core.Mode, met *obs.Metrics, n int) *Manager {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	m := &Manager{
+		mode:    mode,
+		rec:     rec,
+		met:     met,
+		shards:  make([]*shard, n),
+		stripes: make([]indexStripe, numStripes),
+	}
+	met.InitShards(n)
+	for i := range m.shards {
+		m.shards[i] = &shard{
+			id:         i,
+			m:          m,
+			objects:    make(map[string]*lockState),
+			held:       make(map[tree.TID]map[*lockState]struct{}),
+			contended:  make(map[*lockState]struct{}),
+			waiting:    make(map[tree.TID][]*waiter),
+			topWaiting: make(map[tree.TID]map[tree.TID]struct{}),
+		}
+	}
+	for i := range m.stripes {
+		m.stripes[i].held = make(map[tree.TID]map[int]struct{})
+		m.stripes[i].waits = make(map[tree.TID]map[int]int)
+	}
+	return m
+}
+
+// ShardCount returns the number of lock shards.
+func (m *Manager) ShardCount() int { return len(m.shards) }
+
+func (m *Manager) shardFor(x string) *shard {
+	return m.shards[ShardOf(x, len(m.shards))]
+}
+
+// stripeFor returns the index stripe for top-level transaction top.
+func (m *Manager) stripeFor(top tree.TID) *indexStripe {
+	return &m.stripes[fnv32(string(top))%numStripes]
+}
+
+// topOf returns t's top-level ancestor (t itself when t is top-level).
+// t must not be the root.
+func topOf(t tree.TID) tree.TID { return tree.Root.ChildToward(t) }
+
+// ---- cross-shard per-tree indexes ----
+
+// fpAdd records that t's tree holds at least one lock in shard sid.
+// The root's locks are not tracked (the root never commits or aborts).
+func (m *Manager) fpAdd(t tree.TID, sid int) {
+	if t == tree.Root {
+		return
+	}
+	top := topOf(t)
+	st := m.stripeFor(top)
+	st.mu.Lock()
+	s := st.held[top]
+	if s == nil {
+		s = make(map[int]struct{})
+		st.held[top] = s
+	}
+	s[sid] = struct{}{}
+	st.mu.Unlock()
+}
+
+// fpShards returns the shards (ascending id) where top's tree may hold
+// locks.
+func (m *Manager) fpShards(top tree.TID) []*shard {
+	if len(m.shards) == 1 {
+		return m.shards
+	}
+	st := m.stripeFor(top)
+	st.mu.Lock()
+	ids := make([]int, 0, len(st.held[top]))
+	for sid := range st.held[top] {
+		ids = append(ids, sid)
+	}
+	st.mu.Unlock()
+	sort.Ints(ids)
+	out := make([]*shard, len(ids))
+	for i, sid := range ids {
+		out[i] = m.shards[sid]
+	}
+	return out
+}
+
+// fpForget drops top's footprint entry; called when the top-level
+// transaction commits or aborts (all descendants have returned by then,
+// so no grant can race the deletion).
+func (m *Manager) fpForget(top tree.TID) {
+	st := m.stripeFor(top)
+	st.mu.Lock()
+	delete(st.held, top)
+	st.mu.Unlock()
+}
+
+// waitAdd counts one queued waiter of t's tree in shard sid.
+func (m *Manager) waitAdd(t tree.TID, sid int) {
+	top := topOf(t)
+	st := m.stripeFor(top)
+	st.mu.Lock()
+	s := st.waits[top]
+	if s == nil {
+		s = make(map[int]int)
+		st.waits[top] = s
+	}
+	s[sid]++
+	st.mu.Unlock()
+}
+
+// waitRemove undoes one waitAdd.
+func (m *Manager) waitRemove(t tree.TID, sid int) {
+	top := topOf(t)
+	st := m.stripeFor(top)
+	st.mu.Lock()
+	if s := st.waits[top]; s != nil {
+		if s[sid]--; s[sid] <= 0 {
+			delete(s, sid)
+			if len(s) == 0 {
+				delete(st.waits, top)
+			}
+		}
+	}
+	st.mu.Unlock()
+}
+
+// treeConfined reports whether every queued waiter of top's tree sits in
+// shard sid — the condition under which a deadlock walk that only sees
+// sid's wait edges is complete for that tree.
+func (m *Manager) treeConfined(top tree.TID, sid int) bool {
+	if len(m.shards) == 1 {
+		return true
+	}
+	st := m.stripeFor(top)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := st.waits[top]
+	for other := range s {
+		if other != sid {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- public API ----
 
 // Register declares object x with initial state init; the root holds the
 // initial write lock, exactly as in M(X)'s initial state.
 func (m *Manager) Register(x string, init adt.State) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, dup := m.objects[x]; dup {
+	sh := m.shardFor(x)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.objects[x]; dup {
 		return fmt.Errorf("lockmgr: object %q already registered", x)
 	}
 	ls := &lockState{
@@ -133,25 +295,43 @@ func (m *Manager) Register(x string, init adt.State) error {
 		write:    tree.NewSet(tree.Root),
 		versions: map[tree.TID]adt.State{tree.Root: init},
 	}
-	m.objects[x] = ls
-	m.indexAddLocked(tree.Root, ls)
+	sh.objects[x] = ls
+	sh.indexAddLocked(tree.Root, ls)
 	return nil
 }
 
-// Stats returns a copy of the counters.
+// Stats returns a copy of the counters, aggregated across shards.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	var out Stats
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		s := sh.stats
+		sh.mu.Unlock()
+		out.Acquires += s.Acquires
+		out.Waits += s.Waits
+		out.Deadlocks += s.Deadlocks
+		out.CommitMoves += s.CommitMoves
+		out.AbortReleases += s.AbortReleases
+		out.Wakeups += s.Wakeups
+		out.SpuriousWakeups += s.SpuriousWakeups
+		if s.MaxQueueDepth > out.MaxQueueDepth {
+			out.MaxQueueDepth = s.MaxQueueDepth
+		}
+	}
+	out.Shards = uint64(len(m.shards))
+	out.Escalations = m.escalations.Load()
+	return out
 }
 
 // Objects returns the registered object names.
 func (m *Manager) Objects() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]string, 0, len(m.objects))
-	for x := range m.objects {
-		out = append(out, x)
+	var out []string
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for x := range sh.objects {
+			out = append(out, x)
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -159,9 +339,10 @@ func (m *Manager) Objects() []string {
 // CurrentState returns the current (least write-lockholder) state of x,
 // for inspection after a run.
 func (m *Manager) CurrentState(x string) (adt.State, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ls, ok := m.objects[x]
+	sh := m.shardFor(x)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ls, ok := sh.objects[x]
 	if !ok {
 		return nil, fmt.Errorf("lockmgr: object %q not registered", x)
 	}
@@ -170,160 +351,39 @@ func (m *Manager) CurrentState(x string) (adt.State, error) {
 
 // Registered reports whether object x has been registered.
 func (m *Manager) Registered(x string) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	_, ok := m.objects[x]
+	sh := m.shardFor(x)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.objects[x]
 	return ok
 }
 
 // RootStates returns the committed-to-root state of every registered
 // object — the root's version, excluding every version still held by a
 // live transaction. This is the durable snapshot a checkpoint persists:
-// with the WAL's commit gate held, it equals the redo of all logged
-// records.
+// with the WAL's commit gate held no top-level commit is in flight, so
+// the shard-by-shard walk reads one consistent cut that equals the redo
+// of all logged records.
 func (m *Manager) RootStates() map[string]adt.State {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]adt.State, len(m.objects))
-	for x, ls := range m.objects {
-		v, ok := ls.versions[tree.Root]
-		if !ok {
-			panic("lockmgr: root version lost for " + x)
+	out := make(map[string]adt.State)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for x, ls := range sh.objects {
+			v, ok := ls.versions[tree.Root]
+			if !ok {
+				sh.mu.Unlock()
+				panic("lockmgr: root version lost for " + x)
+			}
+			out[x] = v
 		}
-		out[x] = v
+		sh.mu.Unlock()
 	}
 	return out
-}
-
-func (ls *lockState) current() adt.State {
-	least, ok := ls.write.Least()
-	if !ok {
-		panic("lockmgr: no write-lockholders (root lock lost)")
-	}
-	return ls.versions[least]
 }
 
 // isWrite reports whether op takes a write lock under the manager's mode.
 func (m *Manager) isWrite(op adt.Op) bool {
 	return m.mode == core.Exclusive || !op.ReadOnly()
-}
-
-// blocked returns a conflicting lockholder that is not an ancestor of t,
-// or "" when the acquisition can proceed.
-func (ls *lockState) blocked(t tree.TID, write bool) (tree.TID, bool) {
-	for u := range ls.write {
-		if !u.IsAncestorOf(t) {
-			return u, true
-		}
-	}
-	if write {
-		for u := range ls.read {
-			if !u.IsAncestorOf(t) {
-				return u, true
-			}
-		}
-	}
-	return "", false
-}
-
-// ---- held-locks index ----
-
-// indexAddLocked records that t holds a lock on ls. Caller holds m.mu.
-func (m *Manager) indexAddLocked(t tree.TID, ls *lockState) {
-	s := m.held[t]
-	if s == nil {
-		s = make(map[*lockState]struct{})
-		m.held[t] = s
-	}
-	s[ls] = struct{}{}
-}
-
-// ---- wait queues ----
-
-// enqueueLocked appends w to its object's wait queue and the per-tx
-// waiting index. Caller holds m.mu.
-func (m *Manager) enqueueLocked(w *waiter) {
-	ls := w.ls
-	ls.queue = append(ls.queue, w)
-	if len(ls.queue) == 1 {
-		m.met.AddContended(1)
-	}
-	m.met.AddQueued(1)
-	m.contended[ls] = struct{}{}
-	if len(m.waiting[w.tx]) == 0 {
-		top := tree.Root.ChildToward(w.tx)
-		s := m.topWaiting[top]
-		if s == nil {
-			s = make(map[tree.TID]struct{})
-			m.topWaiting[top] = s
-		}
-		s[w.tx] = struct{}{}
-	}
-	m.waiting[w.tx] = append(m.waiting[w.tx], w)
-	if d := uint64(len(ls.queue)); d > m.stats.MaxQueueDepth {
-		m.stats.MaxQueueDepth = d
-	}
-}
-
-// dequeueLocked removes w from its object's wait queue if still present,
-// and from the waiting index. Caller holds m.mu.
-func (m *Manager) dequeueLocked(w *waiter) {
-	ls := w.ls
-	for i, q := range ls.queue {
-		if q == w {
-			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
-			m.met.AddQueued(-1)
-			if len(ls.queue) == 0 {
-				m.met.AddContended(-1)
-			}
-			break
-		}
-	}
-	if len(ls.queue) == 0 {
-		delete(m.contended, ls)
-	}
-	m.unindexWaiterLocked(w)
-}
-
-// unindexWaiterLocked drops w from the per-tx waiting index. Caller holds
-// m.mu.
-func (m *Manager) unindexWaiterLocked(w *waiter) {
-	ws := m.waiting[w.tx]
-	for i, q := range ws {
-		if q == w {
-			ws = append(ws[:i], ws[i+1:]...)
-			break
-		}
-	}
-	if len(ws) == 0 {
-		delete(m.waiting, w.tx)
-		top := tree.Root.ChildToward(w.tx)
-		if s := m.topWaiting[top]; s != nil {
-			delete(s, w.tx)
-			if len(s) == 0 {
-				delete(m.topWaiting, top)
-			}
-		}
-	} else {
-		m.waiting[w.tx] = ws
-	}
-}
-
-// wakeQueuedLocked wakes every waiter queued on ls — the targeted wakeup
-// issued when ls's lock tables changed. Woken waiters rescan and requeue
-// if still blocked. Caller holds m.mu.
-func (m *Manager) wakeQueuedLocked(ls *lockState) {
-	for _, w := range ls.queue {
-		close(w.wake)
-		m.stats.Wakeups++
-		m.unindexWaiterLocked(w)
-	}
-	if n := len(ls.queue); n > 0 {
-		m.met.AddQueued(-int64(n))
-		m.met.AddContended(-1)
-	}
-	ls.queue = nil
-	delete(m.contended, ls)
 }
 
 // Acquire runs access `access` (a child of live transaction tx) applying
@@ -338,21 +398,22 @@ func (m *Manager) wakeQueuedLocked(ls *lockState) {
 // choice races an external cancel — the deadlock outcome wins, so retry
 // loops keyed on ErrDeadlock observe it.
 func (m *Manager) Acquire(tx, access tree.TID, x string, op adt.Op, cancel <-chan struct{}) (adt.Value, error) {
+	sh := m.shardFor(x)
 	write := m.isWrite(op)
 	waited := false
 	var waitStart time.Time // set when the acquisition first blocks
-	m.mu.Lock()
+	sh.mu.Lock()
 	for {
-		ls, ok := m.objects[x]
+		ls, ok := sh.objects[x]
 		if !ok {
-			m.mu.Unlock()
+			sh.mu.Unlock()
 			return nil, fmt.Errorf("lockmgr: object %q not registered", x)
 		}
 		if _, isBlocked := ls.blocked(access, write); !isBlocked {
-			v := m.grantLocked(ls, tx, access, op, write)
-			m.stats.Acquires++
+			v := sh.grantLocked(ls, tx, access, op, write)
+			sh.stats.Acquires++
 			if waited {
-				m.stats.Waits++
+				sh.stats.Waits++
 				d := time.Since(waitStart)
 				m.met.ObserveLockWait(d)
 				m.met.Trace(obs.KindLockAcquire, string(tx), x, d)
@@ -363,19 +424,23 @@ func (m *Manager) Acquire(tx, access tree.TID, x string, op adt.Op, cancel <-cha
 			// edge the grant adds sources from a waiter already queued on
 			// this object, so those transactions are the only roots a new
 			// cycle can be found from.
+			var starts []tree.TID
 			if len(ls.queue) > 0 {
-				starts := make([]tree.TID, 0, len(ls.queue))
+				starts = make([]tree.TID, 0, len(ls.queue))
 				for _, qw := range ls.queue {
 					starts = append(starts, qw.tx)
 				}
-				m.breakCyclesLocked(starts)
 			}
-			m.mu.Unlock()
+			escalate := len(starts) > 0 && sh.breakCyclesLocked(starts)
+			sh.mu.Unlock()
+			if escalate {
+				m.breakCyclesGlobal(starts)
+			}
 			return v, nil
 		}
 		if waited {
 			// Woken by a commit/abort on this object but still blocked.
-			m.stats.SpuriousWakeups++
+			sh.stats.SpuriousWakeups++
 		}
 		// Conflicting lock held by a non-ancestor: wait for the holder's
 		// chain to commit (lock inheritance) or abort (lock release).
@@ -383,54 +448,61 @@ func (m *Manager) Acquire(tx, access tree.TID, x string, op adt.Op, cancel <-cha
 			waitStart = time.Now()
 			m.met.Trace(obs.KindLockWait, string(tx), x, 0)
 		}
-		w := &waiter{tx: tx, access: access, ls: ls, write: write, wake: make(chan struct{})}
-		m.enqueueLocked(w)
+		w := &waiter{tx: tx, access: access, ls: ls, sh: sh, write: write, wake: make(chan struct{})}
+		sh.enqueueLocked(w)
 		// Every edge this wait adds either sources from tx (lock edges) or
 		// targets tx (structural edges from its ancestors), so any cycle
 		// completed by the registration is reachable from tx.
-		m.breakCyclesLocked([]tree.TID{tx})
+		if sh.breakCyclesLocked([]tree.TID{tx}) {
+			// The cycle (if any) leaves this shard: drop the shard lock and
+			// run the walk over a consistent all-shard snapshot, then
+			// re-check our own fate — the global walk (or a concurrent
+			// waker) may have victimised or woken w in the gap.
+			sh.mu.Unlock()
+			m.breakCyclesGlobal([]tree.TID{tx})
+			sh.mu.Lock()
+		}
 		if w.victim {
-			// breakCyclesLocked already dequeued w.
-			m.victimExitLocked(waitStart, true)
-			m.mu.Unlock()
+			// The detector already dequeued w.
+			m.victimExit(waitStart, true)
+			sh.mu.Unlock()
 			return nil, ErrDeadlock
 		}
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		waited = true
 		select {
 		case <-w.wake:
-			m.mu.Lock()
+			sh.mu.Lock()
 			if w.victim {
-				m.victimExitLocked(waitStart, true)
-				m.mu.Unlock()
+				m.victimExit(waitStart, true)
+				sh.mu.Unlock()
 				return nil, ErrDeadlock
 			}
 			// The waker dequeued w; loop and rescan.
 		case <-cancel:
-			m.mu.Lock()
+			sh.mu.Lock()
 			if w.victim {
 				// Deadlock victim chosen concurrently with the cancel: the
 				// victim outcome is already counted in stats.Deadlocks and
 				// must be reported so the caller's retry logic sees it.
-				m.victimExitLocked(waitStart, true)
-				m.mu.Unlock()
+				m.victimExit(waitStart, true)
+				sh.mu.Unlock()
 				return nil, ErrDeadlock
 			}
-			m.dequeueLocked(w)
-			m.victimExitLocked(waitStart, false)
-			m.mu.Unlock()
+			sh.dequeueLocked(w)
+			m.victimExit(waitStart, false)
+			sh.mu.Unlock()
 			return nil, ErrCancelled
 		}
 	}
 }
 
-// victimExitLocked records the metrics of a wait that ended without a
-// grant: the wait duration and the victim cause (deadlock vs external
+// victimExit records the metrics of a wait that ended without a grant:
+// the wait duration and the victim cause (deadlock vs external
 // cancellation). Every blocked acquisition therefore lands in the
 // lock-wait histogram exactly once — granted, victimised, or cancelled —
-// so LockWait.Count reconciles with Waits + victims-by-cause. Caller
-// holds m.mu.
-func (m *Manager) victimExitLocked(waitStart time.Time, deadlock bool) {
+// so LockWait.Count reconciles with Waits + victims-by-cause.
+func (m *Manager) victimExit(waitStart time.Time, deadlock bool) {
 	m.met.ObserveLockWait(time.Since(waitStart))
 	if deadlock {
 		m.met.VictimDeadlock()
@@ -439,325 +511,174 @@ func (m *Manager) victimExitLocked(waitStart time.Time, deadlock bool) {
 	}
 }
 
-// grantLocked applies op, grants the access its lock, and immediately
-// commits the access so the lock is inherited by tx. Caller holds m.mu.
-func (m *Manager) grantLocked(ls *lockState, tx, access tree.TID, op adt.Op, write bool) adt.Value {
-	next, v := op.Apply(ls.current())
-	if write {
-		ls.write.Add(tx)
-		ls.versions[tx] = next
-	} else {
-		ls.read.Add(tx)
-	}
-	m.indexAddLocked(tx, ls)
-	m.rec.RecordAll(
-		event.Event{Kind: event.RequestCommit, T: access, Value: v},
-		event.Event{Kind: event.Commit, T: access},
-		event.Event{Kind: event.InformCommitAt, T: access, Object: ls.name},
-		event.Event{Kind: event.ReportCommit, T: access, Value: v},
-	)
-	return v
-}
-
 // Commit moves every lock held by t up to parent(t) (with its version, for
 // write locks), recording COMMIT(t) and the INFORM_COMMIT events, then
 // wakes the waiters queued on the objects whose lock tables changed. It
-// visits only the objects in t's held-locks index — cost is proportional
-// to the transaction's footprint, not the registered universe. It must be
-// called exactly once per committing transaction, after all of t's
-// children have returned.
+// visits only the shards in t's tree's footprint index — cost is
+// proportional to the transaction's footprint, not the registered
+// universe. It must be called exactly once per committing transaction,
+// after all of t's children have returned.
+//
+// The shards are visited one at a time, so a concurrent observer can see
+// some of t's locks already inherited and others not yet — exactly the
+// asynchronous propagation the paper's per-object INFORM_COMMIT_AT(t,X)
+// events model. The recorder orders COMMIT(t) before every INFORM, so the
+// replayed schedule is well-formed regardless of interleaving.
 func (m *Manager) Commit(t tree.TID, value event.Value) {
 	p := t.Parent()
-	m.mu.Lock()
+	top := topOf(t)
 	m.rec.Record(event.Event{Kind: event.Commit, T: t})
-	for ls := range m.held[t] {
-		touched := false
-		if ls.write.Has(t) {
-			ls.write.Remove(t)
-			ls.write.Add(p)
-			ls.versions[p] = ls.versions[t]
-			delete(ls.versions, t)
-			touched = true
+	for _, sh := range m.fpShards(top) {
+		sh.mu.Lock()
+		for ls := range sh.held[t] {
+			touched := false
+			if ls.write.Has(t) {
+				ls.write.Remove(t)
+				ls.write.Add(p)
+				ls.versions[p] = ls.versions[t]
+				delete(ls.versions, t)
+				touched = true
+			}
+			if ls.read.Has(t) {
+				ls.read.Remove(t)
+				ls.read.Add(p)
+				touched = true
+			}
+			if touched {
+				sh.indexAddLocked(p, ls)
+				sh.stats.CommitMoves++
+				m.rec.Record(event.Event{Kind: event.InformCommitAt, T: t, Object: ls.name})
+				sh.wakeQueuedLocked(ls)
+			}
 		}
-		if ls.read.Has(t) {
-			ls.read.Remove(t)
-			ls.read.Add(p)
-			touched = true
-		}
-		if touched {
-			m.indexAddLocked(p, ls)
-			m.stats.CommitMoves++
-			m.rec.Record(event.Event{Kind: event.InformCommitAt, T: t, Object: ls.name})
-			m.wakeQueuedLocked(ls)
-		}
+		delete(sh.held, t)
+		sh.mu.Unlock()
 	}
-	delete(m.held, t)
+	if p == tree.Root {
+		m.fpForget(top)
+	}
 	m.rec.Record(event.Event{Kind: event.ReportCommit, T: t, Value: value})
-	m.mu.Unlock()
 }
 
 // Abort discards every lock and version held by t or its descendants,
 // recording ABORT(t) and the INFORM_ABORT events, then wakes the waiters
 // queued on the objects whose lock tables changed. The affected objects
-// are found through the held-locks index of t's descendants, so cost is
-// proportional to the aborted subtree's footprint.
+// are found through the held-locks indexes of the shards in t's tree's
+// footprint, so cost is proportional to the aborted subtree's footprint.
 func (m *Manager) Abort(t tree.TID) {
-	m.mu.Lock()
+	top := topOf(t)
 	m.rec.Record(event.Event{Kind: event.Abort, T: t})
-	affected := make(map[*lockState]struct{})
-	for u, objs := range m.held {
-		if u.IsDescendantOf(t) {
-			for ls := range objs {
-				affected[ls] = struct{}{}
+	for _, sh := range m.fpShards(top) {
+		sh.mu.Lock()
+		affected := make(map[*lockState]struct{})
+		for u, objs := range sh.held {
+			if u.IsDescendantOf(t) {
+				for ls := range objs {
+					affected[ls] = struct{}{}
+				}
+				delete(sh.held, u)
 			}
-			delete(m.held, u)
 		}
+		for ls := range affected {
+			touched := false
+			for u := range ls.write {
+				if u.IsDescendantOf(t) {
+					ls.write.Remove(u)
+					delete(ls.versions, u)
+					touched = true
+				}
+			}
+			for u := range ls.read {
+				if u.IsDescendantOf(t) {
+					ls.read.Remove(u)
+					touched = true
+				}
+			}
+			if touched {
+				sh.stats.AbortReleases++
+				m.rec.Record(event.Event{Kind: event.InformAbortAt, T: t, Object: ls.name})
+				sh.wakeQueuedLocked(ls)
+			}
+		}
+		sh.mu.Unlock()
 	}
-	for ls := range affected {
-		touched := false
-		for u := range ls.write {
-			if u.IsDescendantOf(t) {
-				ls.write.Remove(u)
-				delete(ls.versions, u)
-				touched = true
-			}
-		}
-		for u := range ls.read {
-			if u.IsDescendantOf(t) {
-				ls.read.Remove(u)
-				touched = true
-			}
-		}
-		if touched {
-			m.stats.AbortReleases++
-			m.rec.Record(event.Event{Kind: event.InformAbortAt, T: t, Object: ls.name})
-			m.wakeQueuedLocked(ls)
-		}
+	if t.Parent() == tree.Root {
+		m.fpForget(top)
 	}
 	m.rec.Record(event.Event{Kind: event.ReportAbort, T: t})
-	m.mu.Unlock()
-}
-
-// The wait-for graph needs two kinds of edges. A waiter blocked by holder
-// H is really waiting for every transaction from H up to (but excluding)
-// lca(H, access) to commit — only then has the lock been inherited high
-// enough to become an ancestor's — so a lock edge goes from the waiting
-// transaction to each member of that chain. And a transaction cannot
-// commit before its descendants return, so a structural edge goes from
-// every proper ancestor of a waiting transaction down to it. Cycles in
-// this combined graph are exactly the executions that cannot progress
-// without an abort.
-//
-// The graph is never materialised: successors are enumerated on demand
-// from the per-object queues (via the waiting index), and the search
-// starts only from the transactions whose outgoing edges the triggering
-// event changed — a new cycle must pass through one of them. Detection
-// cost therefore scales with the reachable component of the change, not
-// with the total number of waiters in the system.
-
-// breakCyclesLocked finds wait-for cycles reachable from the given start
-// transactions and aborts one victim per cycle found. Caller holds m.mu.
-func (m *Manager) breakCyclesLocked(starts []tree.TID) {
-	for {
-		victim := m.detectLocked(starts)
-		if victim == nil {
-			return
-		}
-		victim.victim = true
-		close(victim.wake)
-		m.dequeueLocked(victim)
-		m.stats.Deadlocks++
-	}
-}
-
-// succLocked appends t's wait-for successors to buf and returns it.
-// Caller holds m.mu.
-func (m *Manager) succLocked(t tree.TID, buf []tree.TID) []tree.TID {
-	// Lock edges: for each of t's waits, the holder chains that must
-	// commit before the wait can be granted.
-	for _, wt := range m.waiting[t] {
-		ls := wt.ls
-		addChain := func(holder tree.TID) {
-			lca := tree.LCA(holder, wt.access)
-			for u := holder; u != lca && u != tree.Root; u = u.Parent() {
-				if u != t {
-					buf = append(buf, u)
-				}
-			}
-		}
-		for u := range ls.write {
-			if !u.IsAncestorOf(wt.access) {
-				addChain(u)
-			}
-		}
-		if wt.write {
-			for u := range ls.read {
-				if !u.IsAncestorOf(wt.access) {
-					addChain(u)
-				}
-			}
-		}
-	}
-	// Structural edges: t is gated on every waiting proper descendant.
-	// Descendants share t's top-level ancestor, so only that tree's
-	// waiting transactions are scanned.
-	for u := range m.topWaiting[tree.Root.ChildToward(t)] {
-		if t.IsProperAncestorOf(u) {
-			buf = append(buf, u)
-		}
-	}
-	return buf
-}
-
-// detectLocked looks for a wait-for cycle reachable from the start
-// transactions and returns the chosen victim's waiter, or nil. Caller
-// holds m.mu.
-func (m *Manager) detectLocked(starts []tree.TID) *waiter {
-	visited := map[tree.TID]bool{}
-	onPath := map[tree.TID]bool{}
-	var path []tree.TID
-	var dfs func(t tree.TID) []tree.TID
-	dfs = func(t tree.TID) []tree.TID {
-		if onPath[t] {
-			// Extract the cycle suffix.
-			for i, u := range path {
-				if u == t {
-					return append([]tree.TID(nil), path[i:]...)
-				}
-			}
-			return append([]tree.TID(nil), path...)
-		}
-		if visited[t] {
-			return nil
-		}
-		visited[t] = true
-		onPath[t] = true
-		path = append(path, t)
-		for _, u := range m.succLocked(t, nil) {
-			if u == tree.Root {
-				continue
-			}
-			if c := dfs(u); c != nil {
-				return c
-			}
-		}
-		onPath[t] = false
-		path = path[:len(path)-1]
-		return nil
-	}
-	var cycle []tree.TID
-	for _, s := range starts {
-		if cycle = dfs(s); cycle != nil {
-			break
-		}
-	}
-	if cycle == nil {
-		return nil
-	}
-	// Victim: the deepest transaction in the cycle that is actually
-	// waiting, breaking level ties in favour of the latest sibling —
-	// path components compare numerically, so T0.10 outranks T0.9.
-	var victim *waiter
-	for _, t := range cycle {
-		for _, cand := range m.waiting[t] {
-			if victim == nil || cand.tx.Level() > victim.tx.Level() ||
-				(cand.tx.Level() == victim.tx.Level() && tree.Compare(cand.tx, victim.tx) > 0) {
-				victim = cand
-			}
-		}
-	}
-	return victim
 }
 
 // CheckInvariants verifies Lemma 21 (lockholders of each object are
 // pairwise ancestry-related where one holds a write lock, and the write
-// table is a chain), version-map consistency, and that the held-locks
-// index agrees exactly with the lock tables, for tests and stress runs.
+// table is a chain), version-map consistency, that the held-locks index
+// agrees exactly with the lock tables, and that the shard partition is
+// clean: every object lives in exactly the shard its hash names, every
+// held lock is covered by the cross-shard footprint index, and the
+// striped waiter counts match the queues exactly. It locks every shard
+// (ascending, the global order), so the snapshot is as consistent as the
+// old single-mutex check. For tests and stress runs.
 func (m *Manager) CheckInvariants() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for x, ls := range m.objects {
-		if !ls.write.IsChain() {
-			return fmt.Errorf("lockmgr: %s: write-lockholders %v not a chain", x, ls.write.Members())
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for i := len(m.shards) - 1; i >= 0; i-- {
+			m.shards[i].mu.Unlock()
 		}
-		for w := range ls.write {
-			for r := range ls.read {
-				if !w.IsAncestorOf(r) && !r.IsAncestorOf(w) {
-					return fmt.Errorf("lockmgr: %s: write holder %s unrelated to read holder %s", x, w, r)
+	}()
+	// waits[top][shard] as the queues say; compared against the stripes.
+	seenWaits := make(map[tree.TID]map[int]int)
+	for _, sh := range m.shards {
+		if err := sh.checkLocked(seenWaits); err != nil {
+			return err
+		}
+	}
+	// Every held lock (other than the root's) must be covered by the
+	// footprint index, and the striped waiter counts must match the
+	// queues exactly. Stripe mutations happen only while holding some
+	// shard mutex — all held here — except fpForget, which runs strictly
+	// after the tree's last lock left every shard, so "footprint ⊇ held"
+	// still holds on any interleaving.
+	for _, sh := range m.shards {
+		for t := range sh.held {
+			if t == tree.Root {
+				continue
+			}
+			top := topOf(t)
+			st := m.stripeFor(top)
+			st.mu.Lock()
+			_, ok := st.held[top][sh.id]
+			st.mu.Unlock()
+			if !ok {
+				return fmt.Errorf("lockmgr: %s holds locks in shard %d but footprint index misses it", t, sh.id)
+			}
+		}
+	}
+	striped := make(map[tree.TID]map[int]int)
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.Lock()
+		for top, s := range st.waits {
+			for sid, n := range s {
+				if striped[top] == nil {
+					striped[top] = make(map[int]int)
 				}
+				striped[top][sid] += n
 			}
 		}
-		if len(ls.versions) != ls.write.Len() {
-			return fmt.Errorf("lockmgr: %s: %d versions for %d write holders", x, len(ls.versions), ls.write.Len())
-		}
-		// Every lockholder must appear in the held-locks index.
-		for _, s := range []tree.Set{ls.read, ls.write} {
-			for t := range s {
-				if _, ok := m.held[t][ls]; !ok {
-					return fmt.Errorf("lockmgr: %s: holder %s missing from held-locks index", x, t)
-				}
-			}
-		}
+		st.mu.Unlock()
 	}
-	// Every index entry must be backed by a lock.
-	for t, objs := range m.held {
-		if len(objs) == 0 {
-			return fmt.Errorf("lockmgr: empty held-locks index entry for %s", t)
-		}
-		for ls := range objs {
-			if !ls.read.Has(t) && !ls.write.Has(t) {
-				return fmt.Errorf("lockmgr: held-locks index lists %s on %s without a lock", t, ls.name)
+	for top, s := range seenWaits {
+		for sid, n := range s {
+			if striped[top][sid] != n {
+				return fmt.Errorf("lockmgr: tree %s has %d waiters queued in shard %d but stripe counts %d", top, n, sid, striped[top][sid])
 			}
 		}
 	}
-	// Queue bookkeeping: contended is exactly the non-empty queues, and
-	// the waiting index lists exactly the queued waiters.
-	for ls := range m.contended {
-		if len(ls.queue) == 0 {
-			return fmt.Errorf("lockmgr: %s marked contended with empty queue", ls.name)
-		}
-	}
-	queued := 0
-	for _, ls := range m.objects {
-		queued += len(ls.queue)
-		if len(ls.queue) > 0 {
-			if _, ok := m.contended[ls]; !ok {
-				return fmt.Errorf("lockmgr: %s has %d queued waiters but is not marked contended", ls.name, len(ls.queue))
-			}
-		}
-		for _, w := range ls.queue {
-			found := false
-			for _, q := range m.waiting[w.tx] {
-				if q == w {
-					found = true
-					break
-				}
-			}
-			if !found {
-				return fmt.Errorf("lockmgr: waiter of %s on %s missing from waiting index", w.tx, ls.name)
-			}
-		}
-	}
-	indexed := 0
-	for t, ws := range m.waiting {
-		if len(ws) == 0 {
-			return fmt.Errorf("lockmgr: empty waiting-index entry for %s", t)
-		}
-		indexed += len(ws)
-		if _, ok := m.topWaiting[tree.Root.ChildToward(t)][t]; !ok {
-			return fmt.Errorf("lockmgr: waiting transaction %s missing from top-level grouping", t)
-		}
-	}
-	if queued != indexed {
-		return fmt.Errorf("lockmgr: %d queued waiters but %d indexed", queued, indexed)
-	}
-	for top, s := range m.topWaiting {
-		if len(s) == 0 {
-			return fmt.Errorf("lockmgr: empty top-level grouping for %s", top)
-		}
-		for t := range s {
-			if len(m.waiting[t]) == 0 {
-				return fmt.Errorf("lockmgr: top-level grouping lists %s with no waiters", t)
+	for top, s := range striped {
+		for sid, n := range s {
+			if seenWaits[top][sid] != n {
+				return fmt.Errorf("lockmgr: stripe counts %d waiters for tree %s in shard %d but %d are queued", n, top, sid, seenWaits[top][sid])
 			}
 		}
 	}

@@ -1,0 +1,318 @@
+package lockmgr
+
+import (
+	"fmt"
+	"sync"
+
+	"nestedtx/internal/adt"
+	"nestedtx/internal/event"
+	"nestedtx/internal/tree"
+)
+
+// shard owns the lock tables, version maps, and wait queues of the
+// objects hashing to it. Everything inside is guarded by mu; nothing in a
+// shard is ever touched under another shard's mutex alone. When a path
+// needs several shard mutexes at once (the escalated deadlock walk,
+// CheckInvariants), it takes them in ascending id order — the global
+// shard-lock order that makes multi-shard sections deadlock-free.
+type shard struct {
+	id int
+	m  *Manager
+
+	mu      sync.Mutex
+	objects map[string]*lockState
+	// held is the held-locks index: for every transaction holding at
+	// least one lock in this shard, the set of its objects the
+	// transaction holds a (read or write) lock on. Commit and Abort walk
+	// this index instead of the whole universe.
+	held map[tree.TID]map[*lockState]struct{}
+	// contended is the set of objects with a non-empty wait queue, so
+	// invariant checks walk only the queues that exist.
+	contended map[*lockState]struct{}
+	// waiting indexes the queued waiters by their transaction, for
+	// demand-driven wait-for-graph exploration and victim selection.
+	waiting map[tree.TID][]*waiter
+	// topWaiting groups the waiting transactions by their top-level
+	// ancestor. Structural wait-for edges (ancestor → waiting descendant)
+	// never cross a top-level boundary, so successor enumeration scans
+	// only the waiting transactions of one tree.
+	topWaiting map[tree.TID]map[tree.TID]struct{}
+	stats      Stats
+}
+
+// lockState is the M(X) state for one object: the two lock tables, the
+// version map (defined exactly on the write-lockholders), and the queue
+// of acquisitions blocked on this object.
+type lockState struct {
+	name     string
+	read     tree.Set
+	write    tree.Set
+	versions map[tree.TID]adt.State
+	queue    []*waiter
+}
+
+type waiter struct {
+	tx     tree.TID // the live transaction performing the access
+	access tree.TID
+	ls     *lockState // the object the waiter is queued on
+	sh     *shard     // the shard ls lives in
+	write  bool       // whether the access needs a write lock
+	wake   chan struct{}
+	victim bool
+}
+
+func (ls *lockState) current() adt.State {
+	least, ok := ls.write.Least()
+	if !ok {
+		panic("lockmgr: no write-lockholders (root lock lost)")
+	}
+	return ls.versions[least]
+}
+
+// blocked returns a conflicting lockholder that is not an ancestor of t,
+// or "" when the acquisition can proceed.
+func (ls *lockState) blocked(t tree.TID, write bool) (tree.TID, bool) {
+	for u := range ls.write {
+		if !u.IsAncestorOf(t) {
+			return u, true
+		}
+	}
+	if write {
+		for u := range ls.read {
+			if !u.IsAncestorOf(t) {
+				return u, true
+			}
+		}
+	}
+	return "", false
+}
+
+// ---- held-locks index ----
+
+// indexAddLocked records that t holds a lock on ls. Caller holds sh.mu.
+func (sh *shard) indexAddLocked(t tree.TID, ls *lockState) {
+	s := sh.held[t]
+	if s == nil {
+		s = make(map[*lockState]struct{})
+		sh.held[t] = s
+	}
+	s[ls] = struct{}{}
+}
+
+// ---- wait queues ----
+
+// enqueueLocked appends w to its object's wait queue, the per-tx waiting
+// index, and the cross-shard waiter counts. Caller holds sh.mu.
+func (sh *shard) enqueueLocked(w *waiter) {
+	ls := w.ls
+	ls.queue = append(ls.queue, w)
+	if len(ls.queue) == 1 {
+		sh.m.met.AddContended(1)
+	}
+	sh.m.met.AddQueued(1)
+	sh.m.met.AddShardQueued(sh.id, 1)
+	sh.contended[ls] = struct{}{}
+	if len(sh.waiting[w.tx]) == 0 {
+		top := topOf(w.tx)
+		s := sh.topWaiting[top]
+		if s == nil {
+			s = make(map[tree.TID]struct{})
+			sh.topWaiting[top] = s
+		}
+		s[w.tx] = struct{}{}
+	}
+	sh.waiting[w.tx] = append(sh.waiting[w.tx], w)
+	sh.m.waitAdd(w.tx, sh.id)
+	if d := uint64(len(ls.queue)); d > sh.stats.MaxQueueDepth {
+		sh.stats.MaxQueueDepth = d
+	}
+}
+
+// dequeueLocked removes w from its object's wait queue if still present,
+// and from the waiting index. Caller holds sh.mu.
+func (sh *shard) dequeueLocked(w *waiter) {
+	ls := w.ls
+	for i, q := range ls.queue {
+		if q == w {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			sh.m.met.AddQueued(-1)
+			sh.m.met.AddShardQueued(sh.id, -1)
+			if len(ls.queue) == 0 {
+				sh.m.met.AddContended(-1)
+			}
+			break
+		}
+	}
+	if len(ls.queue) == 0 {
+		delete(sh.contended, ls)
+	}
+	sh.unindexWaiterLocked(w)
+}
+
+// unindexWaiterLocked drops w from the per-tx waiting index and the
+// cross-shard waiter counts. Caller holds sh.mu.
+func (sh *shard) unindexWaiterLocked(w *waiter) {
+	ws := sh.waiting[w.tx]
+	for i, q := range ws {
+		if q == w {
+			ws = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(ws) == 0 {
+		delete(sh.waiting, w.tx)
+		top := topOf(w.tx)
+		if s := sh.topWaiting[top]; s != nil {
+			delete(s, w.tx)
+			if len(s) == 0 {
+				delete(sh.topWaiting, top)
+			}
+		}
+	} else {
+		sh.waiting[w.tx] = ws
+	}
+	sh.m.waitRemove(w.tx, sh.id)
+}
+
+// wakeQueuedLocked wakes every waiter queued on ls — the targeted wakeup
+// issued when ls's lock tables changed. Woken waiters rescan and requeue
+// if still blocked. Caller holds sh.mu.
+func (sh *shard) wakeQueuedLocked(ls *lockState) {
+	for _, w := range ls.queue {
+		close(w.wake)
+		sh.stats.Wakeups++
+		sh.unindexWaiterLocked(w)
+	}
+	if n := len(ls.queue); n > 0 {
+		sh.m.met.AddQueued(-int64(n))
+		sh.m.met.AddShardQueued(sh.id, -int64(n))
+		sh.m.met.AddContended(-1)
+	}
+	ls.queue = nil
+	delete(sh.contended, ls)
+}
+
+// grantLocked applies op, grants the access its lock, and immediately
+// commits the access so the lock is inherited by tx. Caller holds sh.mu.
+func (sh *shard) grantLocked(ls *lockState, tx, access tree.TID, op adt.Op, write bool) adt.Value {
+	next, v := op.Apply(ls.current())
+	if write {
+		ls.write.Add(tx)
+		ls.versions[tx] = next
+	} else {
+		ls.read.Add(tx)
+	}
+	sh.indexAddLocked(tx, ls)
+	sh.m.fpAdd(tx, sh.id)
+	sh.m.rec.RecordAll(
+		event.Event{Kind: event.RequestCommit, T: access, Value: v},
+		event.Event{Kind: event.Commit, T: access},
+		event.Event{Kind: event.InformCommitAt, T: access, Object: ls.name},
+		event.Event{Kind: event.ReportCommit, T: access, Value: v},
+	)
+	return v
+}
+
+// checkLocked runs the single-shard invariants (the old single-table
+// checks, scoped to this shard) and accumulates the shard's queued-waiter
+// counts per tree into seenWaits for the caller's cross-shard
+// reconciliation. Caller holds sh.mu.
+func (sh *shard) checkLocked(seenWaits map[tree.TID]map[int]int) error {
+	for x, ls := range sh.objects {
+		if ShardOf(x, len(sh.m.shards)) != sh.id {
+			return fmt.Errorf("lockmgr: object %q stored in shard %d but hashes to %d", x, sh.id, ShardOf(x, len(sh.m.shards)))
+		}
+		if !ls.write.IsChain() {
+			return fmt.Errorf("lockmgr: %s: write-lockholders %v not a chain", x, ls.write.Members())
+		}
+		for w := range ls.write {
+			for r := range ls.read {
+				if !w.IsAncestorOf(r) && !r.IsAncestorOf(w) {
+					return fmt.Errorf("lockmgr: %s: write holder %s unrelated to read holder %s", x, w, r)
+				}
+			}
+		}
+		if len(ls.versions) != ls.write.Len() {
+			return fmt.Errorf("lockmgr: %s: %d versions for %d write holders", x, len(ls.versions), ls.write.Len())
+		}
+		// Every lockholder must appear in the held-locks index.
+		for _, s := range []tree.Set{ls.read, ls.write} {
+			for t := range s {
+				if _, ok := sh.held[t][ls]; !ok {
+					return fmt.Errorf("lockmgr: %s: holder %s missing from held-locks index", x, t)
+				}
+			}
+		}
+	}
+	// Every index entry must be backed by a lock.
+	for t, objs := range sh.held {
+		if len(objs) == 0 {
+			return fmt.Errorf("lockmgr: empty held-locks index entry for %s", t)
+		}
+		for ls := range objs {
+			if !ls.read.Has(t) && !ls.write.Has(t) {
+				return fmt.Errorf("lockmgr: held-locks index lists %s on %s without a lock", t, ls.name)
+			}
+		}
+	}
+	// Queue bookkeeping: contended is exactly the non-empty queues, and
+	// the waiting index lists exactly the queued waiters.
+	for ls := range sh.contended {
+		if len(ls.queue) == 0 {
+			return fmt.Errorf("lockmgr: %s marked contended with empty queue", ls.name)
+		}
+	}
+	queued := 0
+	for _, ls := range sh.objects {
+		queued += len(ls.queue)
+		if len(ls.queue) > 0 {
+			if _, ok := sh.contended[ls]; !ok {
+				return fmt.Errorf("lockmgr: %s has %d queued waiters but is not marked contended", ls.name, len(ls.queue))
+			}
+		}
+		for _, w := range ls.queue {
+			if w.sh != sh {
+				return fmt.Errorf("lockmgr: waiter of %s on %s carries wrong shard", w.tx, ls.name)
+			}
+			found := false
+			for _, q := range sh.waiting[w.tx] {
+				if q == w {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("lockmgr: waiter of %s on %s missing from waiting index", w.tx, ls.name)
+			}
+		}
+	}
+	indexed := 0
+	for t, ws := range sh.waiting {
+		if len(ws) == 0 {
+			return fmt.Errorf("lockmgr: empty waiting-index entry for %s", t)
+		}
+		indexed += len(ws)
+		if _, ok := sh.topWaiting[topOf(t)][t]; !ok {
+			return fmt.Errorf("lockmgr: waiting transaction %s missing from top-level grouping", t)
+		}
+		top := topOf(t)
+		if seenWaits[top] == nil {
+			seenWaits[top] = make(map[int]int)
+		}
+		seenWaits[top][sh.id] += len(ws)
+	}
+	if queued != indexed {
+		return fmt.Errorf("lockmgr: %d queued waiters but %d indexed", queued, indexed)
+	}
+	for top, s := range sh.topWaiting {
+		if len(s) == 0 {
+			return fmt.Errorf("lockmgr: empty top-level grouping for %s", top)
+		}
+		for t := range s {
+			if len(sh.waiting[t]) == 0 {
+				return fmt.Errorf("lockmgr: top-level grouping lists %s with no waiters", t)
+			}
+		}
+	}
+	return nil
+}

@@ -325,6 +325,12 @@ type Metrics struct {
 	QueuedWaiters    Gauge // currently blocked lock acquisitions
 	ContendedObjects Gauge // objects with a non-empty wait queue
 
+	// ShardQueued splits QueuedWaiters by lock shard, sized by
+	// InitShards at manager construction (nil until then). The per-shard
+	// gauges expose contention skew — a hot shard shows up as one
+	// outlier entry while the aggregate gauge looks calm.
+	ShardQueued []Gauge
+
 	// FsyncLatency is the duration of each WAL fsync (group commit
 	// flushes a batch of appended records with one Sync).
 	FsyncLatency Histogram
@@ -440,6 +446,23 @@ func (m *Metrics) AddContended(delta int64) {
 	m.ContendedObjects.Add(delta)
 }
 
+// InitShards sizes the per-shard queued-waiters gauges. Called once by
+// the lock manager at construction, before any concurrent use.
+func (m *Metrics) InitShards(n int) {
+	if m == nil {
+		return
+	}
+	m.ShardQueued = make([]Gauge, n)
+}
+
+// AddShardQueued moves shard's queued-waiters gauge.
+func (m *Metrics) AddShardQueued(shard int, delta int64) {
+	if m == nil || shard < 0 || shard >= len(m.ShardQueued) {
+		return
+	}
+	m.ShardQueued[shard].Add(delta)
+}
+
 // ObserveAppend counts one WAL record append.
 func (m *Metrics) ObserveAppend() {
 	if m == nil {
@@ -544,6 +567,7 @@ type Snapshot struct {
 
 	QueuedWaiters    int64
 	ContendedObjects int64
+	ShardQueued      []int64 // QueuedWaiters split by lock shard
 
 	WalAppends       uint64
 	WalFsyncs        uint64
@@ -570,6 +594,13 @@ func (m *Metrics) Snapshot() Snapshot {
 	if m == nil {
 		return Snapshot{}
 	}
+	var shardQueued []int64
+	if len(m.ShardQueued) > 0 {
+		shardQueued = make([]int64, len(m.ShardQueued))
+		for i := range m.ShardQueued {
+			shardQueued[i] = m.ShardQueued[i].Load()
+		}
+	}
 	return Snapshot{
 		OpLatency:        m.OpLatency.Snapshot(),
 		TxLatency:        m.TxLatency.Snapshot(),
@@ -581,6 +612,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		VictimsCancelled: m.VictimsCancelled.Load(),
 		QueuedWaiters:    m.QueuedWaiters.Load(),
 		ContendedObjects: m.ContendedObjects.Load(),
+		ShardQueued:      shardQueued,
 		WalAppends:       m.WalAppends.Load(),
 		WalFsyncs:        m.WalFsyncs.Load(),
 		WalCheckpoints:   m.WalCheckpoints.Load(),

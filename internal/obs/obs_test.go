@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -158,9 +159,11 @@ func TestNilSafety(t *testing.T) {
 	m.ObserveTx(time.Second, true)
 	m.ObserveLockWait(time.Second)
 	m.Trace("CREATE", "T0.1", "", 0)
-	if s := m.Snapshot(); s != (Snapshot{}) {
+	if s := m.Snapshot(); !reflect.DeepEqual(s, Snapshot{}) {
 		t.Fatalf("nil Metrics snapshot = %+v, want zero", s)
 	}
+	m.InitShards(4)
+	m.AddShardQueued(0, 1)
 	var tr *Tracer
 	tr.Trace("CREATE", "T0.1", "", 0)
 	if tr.Dump() != nil || tr.Len() != 0 || tr.Seq() != 0 {

@@ -549,6 +549,13 @@ func (ss *session) handle(req *wire.Request) *wire.Response {
 			return fail(wire.CodeReadOnly,
 				fmt.Sprintf("server: read-only replica of %s; transactions go to the leader", f.Leader()))
 		}
+		// Between "promotion claimed" and "recovered manager installed"
+		// both the follower and the manager are nil; a transaction verb
+		// in that window must be refused, not crash on the missing
+		// manager. CodeReadOnly is what retrying clients already chase.
+		if ss.srv.Manager() == nil {
+			return fail(wire.CodeReadOnly, "server: promotion in progress; retry")
+		}
 	}
 	switch req.Type {
 	case wire.TPing:
@@ -606,7 +613,7 @@ func (ss *session) handleReplStatus() *wire.Response {
 	if sh := ss.srv.shipperRef(); sh != nil {
 		return &wire.Response{OK: true, ReplStatus: sh.Status()}
 	}
-	return fail(wire.CodeBadRequest, "server: replication not configured (volatile manager)")
+	return fail(wire.CodeNotConfigured, "server: replication not configured (volatile manager)")
 }
 
 func (ss *session) handlePromote() *wire.Response {
@@ -640,6 +647,8 @@ func (ss *session) handleStats() *wire.Response {
 		Wakeups:         lk.Wakeups,
 		SpuriousWakeups: lk.SpuriousWakeups,
 		MaxQueueDepth:   lk.MaxQueueDepth,
+		LockShards:      lk.Shards,
+		LockEscalations: lk.Escalations,
 	}}
 }
 
@@ -680,6 +689,7 @@ func (ss *session) handleMetrics(dump bool) *wire.Response {
 		Victims:          s.Victims(),
 		QueuedWaiters:    s.QueuedWaiters,
 		ContendedObjects: s.ContendedObjects,
+		ShardQueued:      s.ShardQueued,
 		FsyncLatency:     histQ(s.FsyncLatency),
 		WalAppends:       s.WalAppends,
 		WalFsyncs:        s.WalFsyncs,

@@ -75,7 +75,15 @@ type Workload struct {
 	Retries int
 	// Seed drives the workload's randomness.
 	Seed int64
+	// LockShards sets the lock-manager shard count; 0 falls back to
+	// DefaultLockShards, then to the manager default (GOMAXPROCS).
+	LockShards int
 }
+
+// DefaultLockShards, when non-zero, applies to every workload whose
+// LockShards is unset — the txsim -shards flag sets it so one invocation
+// sweeps all experiments at a chosen shard count.
+var DefaultLockShards int
 
 // Validate fills defaults and rejects nonsense.
 func (w *Workload) Validate() error {
@@ -161,6 +169,13 @@ func Run(w Workload) (Result, error) {
 	}
 	if w.Exclusive {
 		opts = append(opts, nestedtx.WithExclusiveLocking())
+	}
+	shards := w.LockShards
+	if shards == 0 {
+		shards = DefaultLockShards
+	}
+	if shards > 0 {
+		opts = append(opts, nestedtx.WithLockShards(shards))
 	}
 	m := nestedtx.NewManager(opts...)
 	for i := 0; i < w.Objects; i++ {

@@ -78,6 +78,12 @@ const (
 	CodeTooLarge   = "too_large"   // the response would exceed MaxResponseSize; session stays usable
 	CodeInternal   = "internal"    // server-side failure
 	CodeReadOnly   = "read_only"   // this server is a replication follower; writes go to its leader
+	// CodeNotConfigured answers a request for a subsystem this server
+	// does not run (e.g. REPL_STATUS on a volatile, non-replicating
+	// manager). Distinct from CodeBadRequest so clients probing for a
+	// capability can tell "well-formed but absent here" from "you sent
+	// garbage".
+	CodeNotConfigured = "not_configured"
 )
 
 // Request is one client→server frame.
@@ -191,6 +197,9 @@ type Stats struct {
 	Wakeups         uint64 `json:"lock_wakeups"`
 	SpuriousWakeups uint64 `json:"lock_spurious_wakeups"`
 	MaxQueueDepth   uint64 `json:"lock_max_queue_depth"`
+
+	LockShards      uint64 `json:"lock_shards"`                // shard count (configuration)
+	LockEscalations uint64 `json:"lock_escalations,omitempty"` // all-shard deadlock walks
 }
 
 // HistQ is one latency histogram summarised for the wire: totals plus
@@ -232,6 +241,8 @@ type Metrics struct {
 
 	QueuedWaiters    int64 `json:"queued_waiters"`
 	ContendedObjects int64 `json:"contended_objects"`
+	// ShardQueued splits QueuedWaiters by lock shard (index == shard id).
+	ShardQueued []int64 `json:"lock_shard_queued,omitempty"`
 
 	// Durability block; all-zero on a non-durable server.
 	FsyncLatency     HistQ  `json:"fsync_latency,omitzero"`

@@ -39,6 +39,7 @@ type options struct {
 	record    bool
 	exclusive bool
 	traceCap  int
+	shards    int
 }
 
 // WithRecording makes the manager record the formal event schedule of the
@@ -59,6 +60,14 @@ func WithExclusiveLocking() Option { return func(o *options) { o.exclusive = tru
 // [WithRecording], whose schedule grows without bound for Verify,
 // tracing costs fixed memory and is safe to leave on in production.
 func WithTracing(capacity int) Option { return func(o *options) { o.traceCap = capacity } }
+
+// WithLockShards sets the number of independent lock-manager shards the
+// object universe is hash-partitioned into. n < 1 (the default) selects
+// runtime.GOMAXPROCS(0). More shards means less mutex contention between
+// transactions with disjoint footprints; a deadlock cycle spanning shards
+// is still detected (the walk escalates to an all-shard snapshot), it
+// just costs more than a shard-local one.
+func WithLockShards(n int) Option { return func(o *options) { o.shards = n } }
 
 // Manager owns a universe of named shared objects and runs top-level
 // transactions against them. A Manager is safe for concurrent use.
@@ -100,7 +109,7 @@ func NewManager(opts ...Option) *Manager {
 		met.Tracer = obs.NewTracer(o.traceCap)
 	}
 	return &Manager{
-		lm:   lockmgr.New(rec, mode, met),
+		lm:   lockmgr.NewSharded(rec, mode, met, o.shards),
 		rec:  rec,
 		mode: mode,
 		met:  met,
@@ -149,6 +158,9 @@ func (m *Manager) State(name string) (State, error) {
 
 // Stats returns a copy of the lock-manager counters.
 func (m *Manager) Stats() Stats { return m.lm.Stats() }
+
+// LockShards returns the number of lock-manager shards in use.
+func (m *Manager) LockShards() int { return m.lm.ShardCount() }
 
 // Metrics returns the manager's live metrics registry: latency
 // histograms, outcome counters, contention gauges and (with
