@@ -42,8 +42,10 @@ chaos: vet
 	$(GO) test -race -run NetworkChaosSoak .
 
 # Crash-recovery property suite under the race detector: the WAL unit
-# tests, the 100-seed kill-at-random-byte recovery test (Theorem 34
-# across a crash) and the server drain-durability e2e.
+# tests (including the stalled-fsync pipelining test and the
+# poisoned-log drain regressions), the 100-seed kill-at-random-byte
+# recovery test (Theorem 34 across a crash) and the server
+# drain-durability e2e.
 crash: vet
 	$(GO) test -race ./internal/wal
 	$(GO) test -race -run CrashRecoverySeeds .

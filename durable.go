@@ -66,7 +66,10 @@ func (m *Manager) Checkpoint() error {
 }
 
 // SyncWAL forces any buffered log records to stable storage now. A no-op
-// on non-durable managers.
+// on non-durable managers. If the log has latched a fatal error (a
+// failed append poisoned it), SyncWAL reports that error even when the
+// flush itself succeeds — a server drain over a poisoned log must fail
+// loudly, never report a clean shutdown.
 func (m *Manager) SyncWAL() error {
 	if m.wal == nil {
 		return nil
@@ -75,7 +78,8 @@ func (m *Manager) SyncWAL() error {
 }
 
 // CloseWAL flushes and closes the write-ahead log; the manager must not
-// commit afterwards. A no-op on non-durable managers.
+// commit afterwards. A no-op on non-durable managers. Like SyncWAL it
+// reports a latched fatal error rather than a clean shutdown.
 func (m *Manager) CloseWAL() error {
 	if m.wal == nil {
 		return nil

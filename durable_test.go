@@ -265,6 +265,44 @@ func runCrashSeed(t *testing.T, seed int64) {
 	}
 }
 
+// TestPoisonedWALDrainFailsLoudly is the manager-level half of the
+// poisoned-drain regression: after a commit's WAL append fails (the log
+// latches the fault), SyncWAL and CloseWAL — the server's drain path —
+// must report the latched error even when their own fsync succeeds,
+// never a clean shutdown.
+func TestPoisonedWALDrainFailsLoudly(t *testing.T) {
+	mem := wal.NewMemFS()
+	ffs := wal.NewFaultFS(mem)
+	m, _, err := OpenDurable("d", DurableOptions{FS: ffs})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	m.MustRegister("ctr", adt.Counter{})
+	if err := m.Run(func(tx *Tx) error {
+		_, err := tx.Write("ctr", adt.CtrAdd{Delta: 1})
+		return err
+	}); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+
+	ffs.FailAfter(0)
+	if err := m.Run(func(tx *Tx) error {
+		_, err := tx.Write("ctr", adt.CtrAdd{Delta: 1})
+		return err
+	}); !errors.Is(err, wal.ErrInjected) {
+		t.Fatalf("commit past fault: err = %v, want ErrInjected", err)
+	}
+
+	// Disk heals; the log stays poisoned and the drain must say so.
+	ffs.CrashAfter(-1)
+	if err := m.SyncWAL(); !errors.Is(err, wal.ErrInjected) {
+		t.Fatalf("SyncWAL on a poisoned log: err = %v, want the latched ErrInjected", err)
+	}
+	if err := m.CloseWAL(); !errors.Is(err, wal.ErrInjected) {
+		t.Fatalf("CloseWAL on a poisoned log: err = %v, want the latched ErrInjected", err)
+	}
+}
+
 // TestOpenDurableRejectsBadOptions pins the boundary validation: a
 // nonsensical group-commit window or a data directory that cannot take
 // writes must fail OpenDurable loudly at startup, never surface later

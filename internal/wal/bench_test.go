@@ -15,53 +15,81 @@ import (
 // to a log on the real file system, and the reported "fsyncs/commit"
 // metric is the number of physical fsyncs divided by the number of
 // acknowledged commits. With one writer every commit pays a full fsync
-// (≈1.0); with concurrent writers and a nonzero window the batch shares
-// it (≪1.0).
+// (≈1.0); with concurrent writers the batch shares it (≪1.0).
+//
+// The delay dimension injects extra fsync latency through FaultFS: a
+// slow disk makes the cost of serializing appends behind a flush visible
+// even on one core — with the pipelined write path, appenders keep
+// writing the active segment while the fsync is in flight, so throughput
+// approaches batch-size × per-fsync rate instead of collapsing toward
+// one commit per flush.
 func BenchmarkGroupCommit(b *testing.B) {
+	type cfg struct {
+		delay   time.Duration
+		window  time.Duration
+		writers int
+	}
+	var cfgs []cfg
 	for _, window := range []time.Duration{0, 100 * time.Microsecond, time.Millisecond} {
 		for _, writers := range []int{1, 4, 16} {
-			name := fmt.Sprintf("window=%v/writers=%d", window, writers)
-			b.Run(name, func(b *testing.B) {
-				met := &obs.Metrics{}
-				lg, _, err := Open(b.TempDir(), Options{SyncWindow: window, Metrics: met})
-				if err != nil {
-					b.Fatalf("Open: %v", err)
-				}
-				defer lg.Close()
-
-				b.ResetTimer()
-				var wg sync.WaitGroup
-				for w := 0; w < writers; w++ {
-					n := b.N / writers
-					if w < b.N%writers {
-						n++
-					}
-					wg.Add(1)
-					go func(w, n int) {
-						defer wg.Done()
-						for i := 0; i < n; i++ {
-							r := Record{Commit: &CommitRecord{
-								TID: fmt.Sprintf("T0.%d", w),
-								Effects: []Effect{
-									{Obj: "ctr", Op: adt.CtrAdd{Delta: 1}, Val: int64(i)},
-								},
-							}}
-							if _, err := lg.Append(r); err != nil {
-								b.Errorf("Append: %v", err)
-								return
-							}
-						}
-					}(w, n)
-				}
-				wg.Wait()
-				b.StopTimer()
-
-				s := met.Snapshot()
-				if s.WalAppends > 0 {
-					b.ReportMetric(float64(s.WalFsyncs)/float64(s.WalAppends), "fsyncs/commit")
-					b.ReportMetric(float64(s.WalMaxBatch), "max-batch")
-				}
-			})
+			cfgs = append(cfgs, cfg{0, window, writers})
 		}
+	}
+	// The slow-fsync sweep: 1 ms injected per fsync (the acceptance
+	// configuration is delay=1ms/window=0/writers=16).
+	for _, window := range []time.Duration{0, 100 * time.Microsecond} {
+		for _, writers := range []int{4, 16} {
+			cfgs = append(cfgs, cfg{time.Millisecond, window, writers})
+		}
+	}
+
+	for _, c := range cfgs {
+		name := fmt.Sprintf("delay=%v/window=%v/writers=%d", c.delay, c.window, c.writers)
+		b.Run(name, func(b *testing.B) {
+			met := &obs.Metrics{}
+			ffs := NewFaultFS(OSFS{})
+			ffs.SetSyncDelay(c.delay)
+			lg, _, err := Open(b.TempDir(), Options{SyncWindow: c.window, FS: ffs, Metrics: met})
+			if err != nil {
+				b.Fatalf("Open: %v", err)
+			}
+			defer lg.Close()
+
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < c.writers; w++ {
+				n := b.N / c.writers
+				if w < b.N%c.writers {
+					n++
+				}
+				wg.Add(1)
+				go func(w, n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						r := Record{Commit: &CommitRecord{
+							TID: fmt.Sprintf("T0.%d", w),
+							Effects: []Effect{
+								{Obj: "ctr", Op: adt.CtrAdd{Delta: 1}, Val: int64(i)},
+							},
+						}}
+						if _, err := lg.Append(r); err != nil {
+							b.Errorf("Append: %v", err)
+							return
+						}
+					}
+				}(w, n)
+			}
+			wg.Wait()
+			b.StopTimer()
+
+			s := met.Snapshot()
+			if s.WalAppends > 0 {
+				b.ReportMetric(float64(s.WalFsyncs)/float64(s.WalAppends), "fsyncs/commit")
+				b.ReportMetric(float64(s.WalMaxBatch), "max-batch")
+			}
+			if s.WalFsyncs > 0 {
+				b.ReportMetric(float64(s.FsyncLatency.Sum.Microseconds())/float64(s.WalFsyncs), "µs/fsync")
+			}
+		})
 	}
 }

@@ -73,31 +73,41 @@ func unmarshalCheckpoint(payload []byte) (uint64, map[string]adt.State, error) {
 func (l *Log) Checkpoint(capture func() map[string]adt.State) error {
 	l.gate.Lock()
 	defer l.gate.Unlock()
+	// The gate excludes appenders entirely, so the write and sync paths
+	// are quiescent once acquired; wmu/smu are still taken (in lock
+	// order) so the handle swap cannot race the syncer's fsync.
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	l.smu.Lock()
+	defer l.smu.Unlock()
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return fmt.Errorf("wal: log closed")
 	}
-	if l.err != nil {
-		return fmt.Errorf("wal: log failed: %w", l.err)
+	if lerr := l.err; lerr != nil {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: log failed: %w", lerr)
 	}
+	nextLSN := l.nextLSN
+	l.mu.Unlock()
 	// Encode before touching any file, so an unencodable state aborts
 	// the checkpoint without harming the log.
-	payload, err := marshalCheckpoint(l.nextLSN, capture())
+	payload, err := marshalCheckpoint(nextLSN, capture())
 	if err != nil {
 		return err
 	}
 
-	name := checkpointName(l.nextLSN)
+	name := checkpointName(nextLSN)
 	tmp := name + ".tmp"
 	if err := l.writeFileAtomic(tmp, name, appendFrame(nil, payload)); err != nil {
-		l.err = err
+		l.latch(err)
 		return err
 	}
-	if err := l.cutoverLocked(name, l.nextLSN); err != nil {
+	if err := l.cutover(name, nextLSN); err != nil {
 		return err
 	}
-	l.met.ObserveCheckpoint(l.nextLSN)
+	l.met.ObserveCheckpoint(nextLSN)
 	return nil
 }
 
@@ -111,52 +121,74 @@ func (l *Log) Checkpoint(capture func() map[string]adt.State) error {
 func (l *Log) InstallSnapshot(nextLSN uint64, states map[string]adt.State) error {
 	l.gate.Lock()
 	defer l.gate.Unlock()
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	l.smu.Lock()
+	defer l.smu.Unlock()
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return fmt.Errorf("wal: log closed")
 	}
-	if l.err != nil {
-		return fmt.Errorf("wal: log failed: %w", l.err)
+	if lerr := l.err; lerr != nil {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: log failed: %w", lerr)
 	}
 	if nextLSN < l.nextLSN {
-		return fmt.Errorf("wal: snapshot at %d behind log position %d", nextLSN, l.nextLSN)
+		pos := l.nextLSN
+		l.mu.Unlock()
+		return fmt.Errorf("wal: snapshot at %d behind log position %d", nextLSN, pos)
 	}
+	l.mu.Unlock()
 	payload, err := marshalCheckpoint(nextLSN, states)
 	if err != nil {
 		return err
 	}
 	name := checkpointName(nextLSN)
 	if err := l.writeFileAtomic(name+".tmp", name, appendFrame(nil, payload)); err != nil {
-		l.err = err
+		l.latch(err)
 		return err
 	}
+	l.mu.Lock()
 	l.nextLSN = nextLSN
-	if err := l.cutoverLocked(name, nextLSN); err != nil {
+	l.mu.Unlock()
+	l.writeSeq = nextLSN // wmu held: the next write ticket continues here
+	if err := l.cutover(name, nextLSN); err != nil {
 		return err
 	}
 	l.met.ObserveCheckpoint(nextLSN)
 	return nil
 }
 
-// cutoverLocked finishes a checkpoint (or snapshot install) whose file
-// keep is already durable: it seals and retires every other log file and
-// opens a fresh active segment at lsn. Called with gate and mu held.
-func (l *Log) cutoverLocked(keep string, lsn uint64) error {
+// cutover finishes a checkpoint (or snapshot install) whose file keep is
+// already durable: it seals and retires every other log file and opens a
+// fresh active segment at lsn. Called with gate, wmu and smu held — the
+// log is quiescent (no appender holds the gate, so there are no parked
+// waiters and no in-flight writes).
+func (l *Log) cutover(keep string, lsn uint64) error {
+	fail := func(err error) error {
+		l.latch(err)
+		return err
+	}
 	// Everything below the checkpoint LSN is now redundant. Seal the
-	// active segment, drop old files, start fresh.
+	// active segment (the quiesced write path cannot hold staged frames —
+	// every append was acked before the gate closed — but drain
+	// defensively), drop old files, start fresh.
+	if len(l.wbuf) > 0 {
+		if _, err := l.f.Write(l.wbuf); err != nil {
+			return fail(fmt.Errorf("wal: checkpoint drain: %w", err))
+		}
+		l.wbuf = nil
+	}
 	if err := l.f.Sync(); err != nil {
-		l.err = fmt.Errorf("wal: checkpoint seal: %w", err)
-		return l.err
+		return fail(fmt.Errorf("wal: checkpoint seal: %w", err))
 	}
 	if err := l.f.Close(); err != nil {
-		l.err = fmt.Errorf("wal: checkpoint close: %w", err)
-		return l.err
+		return fail(fmt.Errorf("wal: checkpoint close: %w", err))
 	}
 	names, err := l.fs.ReadDir(l.dir)
 	if err != nil {
-		l.err = fmt.Errorf("wal: checkpoint readdir: %w", err)
-		return l.err
+		return fail(fmt.Errorf("wal: checkpoint readdir: %w", err))
 	}
 	for _, n := range names {
 		if n == keep {
@@ -171,17 +203,27 @@ func (l *Log) cutoverLocked(keep string, lsn uint64) error {
 	segName := segmentName(lsn)
 	f, err := l.fs.OpenFile(filepath.Join(l.dir, segName), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
-		l.err = fmt.Errorf("wal: checkpoint segment: %w", err)
-		return l.err
+		return fail(fmt.Errorf("wal: checkpoint segment: %w", err))
 	}
 	if err := l.fs.SyncDir(l.dir); err != nil {
 		f.Close()
-		l.err = fmt.Errorf("wal: checkpoint sync dir: %w", err)
-		return l.err
+		return fail(fmt.Errorf("wal: checkpoint sync dir: %w", err))
 	}
 	l.f, l.segName, l.segBytes = f, segName, 0
+	l.mu.Lock()
 	l.ckptLSN = lsn
-	l.advanceDurableLocked()
+	l.statSegName, l.statSegBytes = segName, 0
+	l.written = lsn
+	if lsn > l.durable {
+		l.durable = lsn
+		for _, ch := range l.watchers {
+			select {
+			case ch <- struct{}{}:
+			default:
+			}
+		}
+	}
+	l.mu.Unlock()
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // File is the slice of *os.File the log needs. The indirection exists so
@@ -49,8 +50,21 @@ type FS interface {
 type OSFS struct{}
 
 func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
-	return os.OpenFile(name, flag, perm)
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
 }
+
+// osFile narrows a log file's Sync to fdatasync where the platform has
+// it: a WAL append only needs the data and the metadata required to
+// retrieve it (the file size) on stable storage, which fdatasync
+// guarantees — what it skips is the journal commit for timestamp-only
+// metadata that fsync pays on every flush.
+type osFile struct{ *os.File }
+
+func (f osFile) Sync() error { return fdatasync(f.File) }
 
 func (OSFS) ReadDir(dir string) ([]string, error) {
 	ents, err := os.ReadDir(dir)
@@ -250,6 +264,8 @@ type FaultFS struct {
 	mu         sync.Mutex
 	budget     int64 // remaining writable bytes; < 0 means unlimited
 	failClosed bool
+	syncHook   func()        // runs at the start of every file Sync
+	syncDelay  time.Duration // added to every file Sync, after the underlying sync
 }
 
 // ErrInjected is returned by FaultFS operations past the crash point in
@@ -273,6 +289,28 @@ func (fs *FaultFS) CrashAfter(n int64) {
 func (fs *FaultFS) FailAfter(n int64) {
 	fs.mu.Lock()
 	fs.budget, fs.failClosed = n, true
+	fs.mu.Unlock()
+}
+
+// SetSyncHook installs fn to run at the start of every file Sync (fsync)
+// issued through this FS, before the underlying sync. A blocking fn models
+// a stalled disk; the concurrency tests use it to hold an fsync in flight
+// while asserting appenders still make progress. nil removes the hook.
+// The hook does not run for directory syncs.
+func (fs *FaultFS) SetSyncHook(fn func()) {
+	fs.mu.Lock()
+	fs.syncHook = fn
+	fs.mu.Unlock()
+}
+
+// SetSyncDelay makes every file Sync take d longer — a slow disk, for
+// fsync-latency sweeps. The delay lands after the underlying sync
+// completes: the modeled device wrote durably but is slow to
+// acknowledge, so the injected latency composes with (rather than
+// perturbs) the real cost of the sync itself. d <= 0 removes the delay.
+func (fs *FaultFS) SetSyncDelay(d time.Duration) {
+	fs.mu.Lock()
+	fs.syncDelay = d
 	fs.mu.Unlock()
 }
 
@@ -345,10 +383,21 @@ func (f *faultFile) Write(p []byte) (int, error) {
 func (f *faultFile) Read(p []byte) (int, error) { return f.f.Read(p) }
 
 func (f *faultFile) Sync() error {
+	f.fs.mu.Lock()
+	hook := f.fs.syncHook
+	delay := f.fs.syncDelay
+	f.fs.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
 	if ok, failClosed := f.fs.alive(); !ok && failClosed {
 		return ErrInjected
 	}
-	return f.f.Sync()
+	err := f.f.Sync()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return err
 }
 
 func (f *faultFile) Close() error { return f.f.Close() }

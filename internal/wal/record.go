@@ -114,6 +114,35 @@ func marshalRecord(r Record) ([]byte, error) {
 	return json.Marshal(jr)
 }
 
+// lsnZeroPrefix is how marshalRecord opens a payload encoded with the
+// placeholder LSN: jsonRecord declares LSN first, and encoding/json
+// emits struct fields in declaration order.
+var lsnZeroPrefix = []byte(`{"lsn":0,`)
+
+// patchLSN splices the reserved LSN into a payload that was marshalled
+// with r.LSN == 0 — the appender encodes before its LSN exists so the
+// expensive JSON encoding stays outside the log's critical sections. If
+// the encoder's shape ever stops matching the expected prefix, it falls
+// back to a full re-marshal (which cannot fail: the placeholder marshal
+// of the same record already succeeded).
+func patchLSN(payload []byte, r Record, lsn uint64) []byte {
+	if lsn == 0 {
+		return payload
+	}
+	if bytes.HasPrefix(payload, lsnZeroPrefix) {
+		out := make([]byte, 0, len(payload)+20)
+		out = append(out, lsnZeroPrefix[:len(lsnZeroPrefix)-2]...) // `{"lsn":`
+		out = strconv.AppendUint(out, lsn, 10)
+		out = append(out, payload[len(lsnZeroPrefix)-1:]...) // from the comma on
+		return out
+	}
+	r.LSN = lsn
+	if p, err := marshalRecord(r); err == nil {
+		return p
+	}
+	return payload
+}
+
 func unmarshalRecord(data []byte) (Record, error) {
 	var jr jsonRecord
 	if err := json.Unmarshal(data, &jr); err != nil {

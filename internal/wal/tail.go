@@ -28,6 +28,13 @@ var ErrTruncated = errors.New("wal: tail position below the log's low-water mark
 // "mid-write, try again later", never as corruption — torn-tail
 // adjudication belongs to recovery, not to a tailer racing the writer.
 //
+// With the pipelined write path, frames land in the segment in batches
+// (the sync path drains the staged batch just before each fsync), so the
+// file may momentarily end short of the log's written mark and may hold
+// frames beyond its durable mark. Callers that must not read past what a
+// crash could lose — the replication shipper — gate on DurableLSN; the
+// tailer itself only promises LSN order and clean stops at the live end.
+//
 // A Tailer is not safe for concurrent use.
 type Tailer struct {
 	dir  string

@@ -15,20 +15,38 @@
 // a serial history, and replaying its prefix after a crash yields a state
 // the checker can certify (Theorem 34 across a crash).
 //
-// Group commit: appenders write their record into the active segment and
-// then park; a single syncer goroutine retires all parked appenders with
-// one Fsync, optionally waiting a configurable window first so concurrent
-// commits share the flush. Checkpoints snapshot the committed-to-root
-// object states behind a writer lock that drains in-flight appends, so a
-// checkpoint is exactly equivalent to the redo of every record below its
-// LSN.
+// The commit path is pipelined: correctness needs fsync-before-lock-
+// release, not a serial append path, so the log splits three concerns
+// that each serialize only against themselves:
+//
+//   - LSN reservation is a short critical section under the state mutex;
+//     record encoding happens outside every lock.
+//   - Frames are staged in LSN order under a dedicated write mutex (a
+//     ticket per reserved LSN) that is never held across a batch fsync —
+//     appenders keep staging while a flush is in flight, and a whole
+//     staged batch reaches the segment as one write syscall.
+//   - The sync path (the syncer goroutine, Sync, and rotation seals)
+//     drains the staged batch and issues one shared fsync for it. The
+//     durable watermark published after each completed flush is the
+//     highest LSN staged when that flush was *issued* — frames that land
+//     mid-flush wait for the next one.
+//
+// Group commit falls out of the split: every appender parks a per-LSN
+// waiter after its write, and one fsync retires all waiters below the
+// watermark it covers, optionally after a configurable window so
+// concurrent commits share the flush. Checkpoints snapshot the
+// committed-to-root object states behind a writer lock that drains
+// in-flight appends, so a checkpoint is exactly equivalent to the redo of
+// every record below its LSN.
 package wal
 
 import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nestedtx/internal/obs"
@@ -36,10 +54,12 @@ import (
 
 // Options configures a Log.
 type Options struct {
-	// SyncWindow is the group-commit window: after the first commit of a
-	// batch parks, the syncer waits this long for more commits to join
-	// before issuing the shared fsync. Zero syncs each batch immediately
-	// (batching still happens while a previous fsync is in flight).
+	// SyncWindow is the group-commit window: before issuing a shared
+	// fsync the syncer waits this long so more commits can join the
+	// batch. Zero syncs each batch immediately. Batching happens while a
+	// previous fsync is in flight regardless: appends are never blocked
+	// by a flush — they write their frames and park, and the next flush
+	// retires them all with one fsync.
 	SyncWindow time.Duration
 	// SegmentBytes rotates the active segment once it exceeds this many
 	// bytes. Zero means the 4 MiB default.
@@ -52,6 +72,12 @@ type Options struct {
 }
 
 const defaultSegmentBytes = 4 << 20
+
+// waiter is one parked appender: ch receives the fsync verdict for lsn.
+type waiter struct {
+	lsn uint64
+	ch  chan error
+}
 
 // Log is an open write-ahead log. All methods are safe for concurrent
 // use.
@@ -69,17 +95,46 @@ type Log struct {
 	// applied and no commit is mid-flight.
 	gate sync.RWMutex
 
-	mu       sync.Mutex
-	f        File   // active segment
-	segName  string // file name of the active segment
-	segBytes int64  // bytes written to the active segment
-	nextLSN  uint64
-	ckptLSN  uint64 // next LSN after the newest checkpoint (redo low-water)
-	durable  uint64 // every LSN below this is covered by an fsync
-	watchers []chan struct{}
-	waiters  []chan error
-	err      error // latched fatal error: log is read-only from here on
-	closed   bool
+	// wmu is the write path: it serializes frame staging and rotations.
+	// Appenders take it per frame, in LSN order (writeSeq is the ticket),
+	// stage their frame into wbuf and return — the segment write itself
+	// happens on the sync path, which drains the whole staged batch with
+	// one write immediately before each fsync. wmu is never held across a
+	// batch fsync — only rotation's seal fsync runs under it.
+	wmu      sync.Mutex
+	wcond    *sync.Cond // broadcast when writeSeq advances
+	writeSeq uint64     // LSN whose frame may be staged next
+	wbuf     []byte     // frames staged but not yet written to the segment
+	f        File       // active segment
+	segName  string     // file name of the active segment
+	segBytes int64      // bytes staged+written to the active segment
+
+	// smu is the sync path: it serializes batch drains, fsyncs and
+	// file-handle swaps (rotation, checkpoint cutover) against each
+	// other. Appenders never take it, so frame staging proceeds while a
+	// flush is in flight. Lock order: gate → wmu → smu → mu.
+	smu sync.Mutex
+
+	// mu guards the logical state below. Critical sections are short:
+	// mu is never held across an encode, a write, or an fsync.
+	mu           sync.Mutex
+	nextLSN      uint64 // next LSN to reserve
+	written      uint64 // every LSN below this is staged or written in its segment
+	durable      uint64 // every LSN below this is covered by an fsync
+	ckptLSN      uint64 // next LSN after the newest checkpoint (redo low-water)
+	statSegName  string // mirror of segName for lock-free-ish Stats
+	statSegBytes int64  // mirror of segBytes for Stats
+	waiters      []waiter // parked appenders, ascending LSN
+	watchers     []chan struct{}
+	err          error // latched fatal error: log is read-only from here on
+	closed       bool
+
+	// lastSync is the duration of the most recent batch fsync, in
+	// nanoseconds, and lastBatch the number of waiters it retired: the
+	// adaptive gather (see gatherBatch) budgets by the former and exits
+	// early on the latter.
+	lastSync  atomic.Int64
+	lastBatch atomic.Int64
 
 	kick chan struct{}
 	stop chan struct{}
@@ -127,13 +182,16 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 		met:      opts.Metrics,
 		window:   opts.SyncWindow,
 		segLimit: opts.SegmentBytes,
+		writeSeq: rec.NextLSN,
 		nextLSN:  rec.NextLSN,
+		written:  rec.NextLSN,
 		ckptLSN:  rec.CheckpointLSN,
 		durable:  rec.NextLSN, // the recovered prefix is on stable storage
 		kick:     make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	l.wcond = sync.NewCond(&l.wmu)
 	// Continue the last surviving segment, or start a fresh one.
 	name := rec.tailSegment
 	flag := os.O_WRONLY | os.O_APPEND
@@ -146,9 +204,16 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 		return nil, nil, fmt.Errorf("wal: open segment: %w", err)
 	}
 	l.f, l.segName = f, name
-	if size, err := fs.Size(filepath.Join(dir, name)); err == nil {
-		l.segBytes = size
+	size, err := fs.Size(filepath.Join(dir, name))
+	if err != nil {
+		// A continued tail segment whose size we cannot read would leave
+		// segBytes at zero and misaccount the rotation threshold for the
+		// whole recovered segment — fail Open instead.
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: size %s: %w", name, err)
 	}
+	l.segBytes = size
+	l.statSegName, l.statSegBytes = l.segName, l.segBytes
 	if err := fs.SyncDir(dir); err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("wal: sync dir: %w", err)
@@ -170,6 +235,11 @@ func (l *Log) Append(r Record) (uint64, error) {
 // apply — all while holding the checkpoint gate, so a concurrent
 // Checkpoint can never observe a state whose last commit is not yet in
 // the log (or vice versa). apply's error is returned as-is.
+//
+// The gate is shared (appenders hold read locks): once a shared fsync
+// retires a batch, every committer's apply runs on its own goroutine —
+// disjoint commits release their locks and record their events in
+// parallel, nothing downstream of the flush re-serializes them.
 func (l *Log) AppendApply(r Record, apply func() error) error {
 	l.gate.RLock()
 	defer l.gate.RUnlock()
@@ -215,166 +285,375 @@ func (l *Log) AppendBatch(recs []Record) error {
 		}
 		last = ch
 	}
+	// Per-LSN retirement means the last record's ack covers the whole
+	// contiguous run.
 	return <-last
 }
 
 // enqueue assigns the record its LSN (or, with strict set, verifies the
 // LSN it carries continues the sequence), writes its frame into the
-// active segment and parks a waiter for the next fsync.
+// active segment in LSN order and parks a waiter for a covering fsync.
+//
+// The expensive work — JSON encoding and CRC framing — happens outside
+// every lock: the record is encoded with a placeholder LSN before the
+// reservation (so an unencodable record fails without leaving a hole in
+// the sequence) and the reserved LSN is patched in afterwards.
 func (l *Log) enqueue(r Record, strict bool) (chan error, uint64, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return nil, 0, fmt.Errorf("wal: log closed")
+	if !strict {
+		r.LSN = 0 // the log assigns LSNs; encode with the placeholder
 	}
-	if l.err != nil {
-		return nil, 0, fmt.Errorf("wal: log failed: %w", l.err)
-	}
-	if strict && r.LSN != l.nextLSN {
-		return nil, 0, fmt.Errorf("wal: batch LSN gap: got %d, want %d", r.LSN, l.nextLSN)
-	}
-	r.LSN = l.nextLSN
 	payload, err := marshalRecord(r)
 	if err != nil {
 		return nil, 0, err
 	}
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, 0, fmt.Errorf("wal: log closed")
+	}
+	if lerr := l.err; lerr != nil {
+		l.mu.Unlock()
+		return nil, 0, fmt.Errorf("wal: log failed: %w", lerr)
+	}
+	if strict && r.LSN != l.nextLSN {
+		want := l.nextLSN
+		l.mu.Unlock()
+		return nil, 0, fmt.Errorf("wal: batch LSN gap: got %d, want %d", r.LSN, want)
+	}
+	lsn := l.nextLSN
+	l.nextLSN++
+	l.mu.Unlock()
+
+	if !strict {
+		payload = patchLSN(payload, r, lsn)
+	}
 	frame := appendFrame(nil, payload)
+
+	ch := make(chan error, 1)
+	if err := l.writeFrame(lsn, frame, ch); err != nil {
+		return nil, 0, err
+	}
+	return ch, lsn, nil
+}
+
+// writeFrame stages frame as record lsn of the log. Frames enter the
+// write path in LSN order — writeSeq is the ticket — but the segment
+// write itself is deferred: frames accumulate in wbuf and the sync path
+// drains the staged batch with a single write immediately before each
+// fsync, so a batch of n commits costs one write syscall plus one fsync
+// no matter how large n is, and nothing here ever blocks on the file.
+// On success the caller's waiter is parked and retired — or failed, if
+// the batch write or its fsync fails — by the covering flush.
+func (l *Log) writeFrame(lsn uint64, frame []byte, ch chan error) error {
+	l.wmu.Lock()
+	for l.writeSeq != lsn {
+		l.wcond.Wait()
+	}
+	// The sequence must advance even on failure, or every later ticket
+	// would wait forever; they fail fast on the latched error instead.
+	defer func() {
+		l.writeSeq = lsn + 1
+		l.wcond.Broadcast()
+		l.wmu.Unlock()
+	}()
+	l.mu.Lock()
+	lerr := l.err
+	l.mu.Unlock()
+	if lerr != nil {
+		// A predecessor's batch failed: never stage a frame after a hole.
+		return fmt.Errorf("wal: log failed: %w", lerr)
+	}
 	if l.segBytes > 0 && l.segBytes+int64(len(frame)) > l.segLimit {
-		if err := l.rotateLocked(); err != nil {
-			l.err = err
-			return nil, 0, err
+		if err := l.rotate(); err != nil {
+			return err
 		}
 	}
-	if _, err := l.f.Write(frame); err != nil {
-		// The segment may now hold a torn frame; recovery will cut it.
-		l.err = fmt.Errorf("wal: write: %w", err)
-		return nil, 0, l.err
-	}
-	l.nextLSN++
+	l.wbuf = append(l.wbuf, frame...)
 	l.segBytes += int64(len(frame))
 	l.met.ObserveAppend()
-	ch := make(chan error, 1)
-	l.waiters = append(l.waiters, ch)
+	l.mu.Lock()
+	l.written = lsn + 1
+	l.statSegBytes = l.segBytes
+	l.waiters = append(l.waiters, waiter{lsn: lsn, ch: ch})
+	l.mu.Unlock()
 	select {
 	case l.kick <- struct{}{}:
 	default:
 	}
-	return ch, r.LSN, nil
-}
-
-// rotateLocked seals the active segment (fsync, retire its waiters,
-// close) and opens a fresh one named after the next LSN. Called with
-// l.mu held.
-func (l *Log) rotateLocked() error {
-	start := time.Now()
-	err := l.f.Sync()
-	if len(l.waiters) > 0 {
-		l.met.ObserveFsync(time.Since(start), len(l.waiters))
-		for _, ch := range l.waiters {
-			ch <- err
-		}
-		l.waiters = nil
-	}
-	if err != nil {
-		return fmt.Errorf("wal: rotate sync: %w", err)
-	}
-	l.advanceDurableLocked()
-	if err := l.f.Close(); err != nil {
-		return fmt.Errorf("wal: rotate close: %w", err)
-	}
-	name := segmentName(l.nextLSN)
-	f, err := l.fs.OpenFile(filepath.Join(l.dir, name), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("wal: rotate open: %w", err)
-	}
-	if err := l.fs.SyncDir(l.dir); err != nil {
-		f.Close()
-		return fmt.Errorf("wal: rotate sync dir: %w", err)
-	}
-	l.f, l.segName, l.segBytes = f, name, 0
 	return nil
 }
 
-// syncer is the single goroutine that retires parked appenders: one
-// fsync per batch, optionally after the group-commit window.
+// latch records the first fatal error; the log is read-only from here on.
+func (l *Log) latch(err error) {
+	l.mu.Lock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.mu.Unlock()
+}
+
+// rotate seals the active segment (drain the staged frames, fsync —
+// which also publishes the durable mark and retires the covered
+// waiters — then close) and opens a fresh one named after the next LSN.
+// Called with wmu held; takes smu so the handle swap cannot race an
+// in-flight batch fsync.
+func (l *Log) rotate() error {
+	l.smu.Lock()
+	defer l.smu.Unlock()
+	buf := l.wbuf
+	l.wbuf = nil
+	l.mu.Lock()
+	target := l.written
+	l.mu.Unlock()
+	start := time.Now()
+	var err error
+	if len(buf) > 0 {
+		if _, werr := l.f.Write(buf); werr != nil {
+			err = fmt.Errorf("wal: rotate write: %w", werr)
+		}
+	}
+	if err == nil {
+		if serr := l.f.Sync(); serr != nil {
+			err = fmt.Errorf("wal: rotate sync: %w", serr)
+		}
+	}
+	if err != nil {
+		l.latch(err)
+		l.finishFlush(target, time.Since(start), err)
+		return err
+	}
+	l.finishFlush(target, time.Since(start), nil)
+	if err := l.f.Close(); err != nil {
+		err = fmt.Errorf("wal: rotate close: %w", err)
+		l.latch(err)
+		return err
+	}
+	name := segmentName(l.writeSeq)
+	f, err := l.fs.OpenFile(filepath.Join(l.dir, name), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		err = fmt.Errorf("wal: rotate open: %w", err)
+		l.latch(err)
+		return err
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		f.Close()
+		err = fmt.Errorf("wal: rotate sync dir: %w", err)
+		l.latch(err)
+		return err
+	}
+	l.f, l.segName, l.segBytes = f, name, 0
+	l.mu.Lock()
+	l.statSegName, l.statSegBytes = name, 0
+	l.mu.Unlock()
+	return nil
+}
+
+// syncer is the goroutine that retires parked appenders: one fsync per
+// batch, optionally after the group-commit window. Waiters that park
+// while a flush is in flight form the next batch and are retired without
+// waiting for another kick.
 func (l *Log) syncer() {
 	defer close(l.done)
 	for {
 		select {
 		case <-l.kick:
-			if l.window > 0 {
-				t := time.NewTimer(l.window)
-				select {
-				case <-t.C:
-				case <-l.stop:
-					t.Stop()
-				}
+			l.waitWindow()
+			for l.flushOnce() {
+				l.waitWindow()
 			}
-			l.flushBatch()
 		case <-l.stop:
-			l.flushBatch()
+			l.flushOnce()
 			return
 		}
 	}
 }
 
-// flushBatch fsyncs the active segment and releases every parked waiter.
-// Holding l.mu across the Sync is deliberate: appenders arriving during
-// the fsync park behind the mutex and form the next batch — that queue
-// IS the group commit.
-func (l *Log) flushBatch() {
-	l.mu.Lock()
-	if len(l.waiters) == 0 {
-		l.mu.Unlock()
+// waitWindow sleeps the group-commit window (interruptible by stop).
+func (l *Log) waitWindow() {
+	if l.window <= 0 {
 		return
 	}
-	start := time.Now()
-	err := l.f.Sync()
-	l.met.ObserveFsync(time.Since(start), len(l.waiters))
-	if err != nil && l.err == nil {
-		l.err = fmt.Errorf("wal: fsync: %w", err)
-	}
-	if err == nil {
-		l.advanceDurableLocked()
-	}
-	batch := l.waiters
-	l.waiters = nil
-	l.mu.Unlock()
-	for _, ch := range batch {
-		ch <- err
+	t := time.NewTimer(l.window)
+	select {
+	case <-t.C:
+	case <-l.stop:
+		t.Stop()
 	}
 }
 
+// flushOnce retires one batch: it moves every frame staged at sample
+// time into the active segment with a single write, issues one shared
+// fsync, and retires the covered waiters. It reports whether any waiter
+// was parked (false means the log is drained and the syncer can block).
+// The write path is released before the file I/O starts — lock order is
+// wmu → smu, so the staged batch is swapped out under wmu and then
+// written+fsynced under smu alone: appenders stage the next batch (and
+// may even rotate, serialized behind smu) while this one flushes.
+func (l *Log) flushOnce() bool {
+	l.gatherBatch()
+	l.wmu.Lock()
+	l.smu.Lock()
+	buf := l.wbuf
+	l.wbuf = nil
+	f := l.f
+	l.mu.Lock()
+	target := l.written
+	n := len(l.waiters)
+	lerr := l.err
+	l.mu.Unlock()
+	l.wmu.Unlock()
+	if n == 0 && len(buf) == 0 {
+		l.smu.Unlock()
+		return false
+	}
+	start := time.Now()
+	err := l.writeAndSync(f, buf, lerr)
+	d := time.Since(start)
+	if err == nil {
+		l.lastSync.Store(int64(d))
+	}
+	l.finishFlush(target, d, err)
+	l.smu.Unlock()
+	return true
+}
+
+// writeAndSync writes a drained batch and fsyncs the segment, latching
+// any failure. Called with smu held. A latched prior error fails the
+// flush without touching the file: the segment ends at the last batch
+// before the hole, and recovery adjudicates whatever is on disk.
+func (l *Log) writeAndSync(f File, buf []byte, lerr error) error {
+	if lerr != nil {
+		return fmt.Errorf("wal: log failed: %w", lerr)
+	}
+	if len(buf) > 0 {
+		if _, err := f.Write(buf); err != nil {
+			// The segment may now hold a torn frame; recovery will cut it.
+			err = fmt.Errorf("wal: write: %w", err)
+			l.latch(err)
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		err = fmt.Errorf("wal: fsync: %w", err)
+		l.latch(err)
+		return err
+	}
+	return nil
+}
+
+// gatherBatch gives committers acked by the previous flush a moment to
+// re-append before this flush samples its target. One scheduler yield is
+// always granted; beyond that the budget is a small fraction of the
+// observed fsync latency (capped), so slow storage — where a commit that
+// misses the batch pays a full extra flush — buys a slightly longer
+// gather, while fast storage pays nearly nothing. Under steady load the
+// loop exits well before the deadline: as soon as the batch is as large
+// as the previous one (the acked committers are all back) or the waiter
+// count stops growing.
+func (l *Log) gatherBatch() {
+	budget := time.Duration(l.lastSync.Load()) / 8
+	if budget > 200*time.Microsecond {
+		budget = 200 * time.Microsecond
+	}
+	deadline := time.Now().Add(budget)
+	full := l.lastBatch.Load()
+	prev := -1
+	for {
+		runtime.Gosched()
+		l.mu.Lock()
+		n := len(l.waiters)
+		l.mu.Unlock()
+		if int64(n) >= full || n == prev || budget <= 0 || time.Now().After(deadline) {
+			return
+		}
+		prev = n
+	}
+}
+
+// finishFlush publishes the outcome of one fsync issued when the written
+// mark was target: on success the durable watermark advances to target
+// (never past it — frames written mid-flush wait for the next one) and
+// the covered waiters are retired; on failure every parked waiter fails,
+// since the log is poisoned and no later fsync will cover them.
+func (l *Log) finishFlush(target uint64, d time.Duration, err error) {
+	l.mu.Lock()
+	var batch []waiter
+	if err != nil {
+		batch, l.waiters = l.waiters, nil
+	} else {
+		if target > l.durable {
+			l.durable = target
+			for _, ch := range l.watchers {
+				select {
+				case ch <- struct{}{}:
+				default: // already pending; the watcher will see the new mark
+				}
+			}
+		}
+		i := 0
+		for i < len(l.waiters) && l.waiters[i].lsn < l.durable {
+			i++
+		}
+		batch, l.waiters = l.waiters[:i:i], l.waiters[i:]
+	}
+	l.mu.Unlock()
+	if len(batch) > 0 {
+		if err == nil {
+			l.lastBatch.Store(int64(len(batch)))
+		}
+		l.met.ObserveFsync(d, len(batch))
+	}
+	for _, w := range batch {
+		w.ch <- err
+	}
+}
+
+// syncNow drains the staged frames and fsyncs the active segment
+// immediately, regardless of the group-commit window, and retires the
+// covered waiters.
+func (l *Log) syncNow() error {
+	l.wmu.Lock()
+	l.smu.Lock()
+	buf := l.wbuf
+	l.wbuf = nil
+	f := l.f
+	l.mu.Lock()
+	target := l.written
+	lerr := l.err
+	l.mu.Unlock()
+	l.wmu.Unlock()
+	start := time.Now()
+	err := l.writeAndSync(f, buf, lerr)
+	l.finishFlush(target, time.Since(start), err)
+	l.smu.Unlock()
+	return err
+}
+
 // Sync forces any buffered records to stable storage now, regardless of
-// the group-commit window.
+// the group-commit window. If the log has latched a fatal error — a
+// failed append poisoned it — Sync reports that error even when this
+// flush itself succeeds: state past the torn frame is gone, and a drain
+// that relied on it must fail loudly, not report a clean shutdown.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		return fmt.Errorf("wal: log closed")
 	}
-	start := time.Now()
-	err := l.f.Sync()
-	if len(l.waiters) > 0 {
-		l.met.ObserveFsync(time.Since(start), len(l.waiters))
-	}
-	batch := l.waiters
-	l.waiters = nil
-	if err != nil && l.err == nil {
-		l.err = fmt.Errorf("wal: fsync: %w", err)
-	}
-	if err == nil {
-		l.advanceDurableLocked()
+	l.mu.Unlock()
+	err := l.syncNow()
+	l.mu.Lock()
+	if l.err != nil {
+		err = fmt.Errorf("wal: log failed: %w", l.err)
 	}
 	l.mu.Unlock()
-	for _, ch := range batch {
-		ch <- err
-	}
 	return err
 }
 
 // Close flushes outstanding records, stops the syncer and closes the
-// active segment. The log is unusable afterwards.
+// active segment. The log is unusable afterwards. Like Sync, Close
+// reports a previously latched fatal error rather than a clean shutdown.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	if l.closed {
@@ -382,37 +661,54 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	reserved := l.nextLSN
 	l.mu.Unlock()
+	// Drain the write path: every LSN reserved before closed was set has
+	// passed through writeFrame once writeSeq reaches the mark.
+	l.wmu.Lock()
+	for l.writeSeq != reserved {
+		l.wcond.Wait()
+	}
+	l.wmu.Unlock()
 	close(l.stop)
 	<-l.done
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	err := l.f.Sync()
-	if cerr := l.f.Close(); err == nil {
+	err := l.syncNow()
+	l.smu.Lock()
+	cerr := l.f.Close()
+	l.smu.Unlock()
+	if err == nil {
 		err = cerr
 	}
+	l.mu.Lock()
+	if l.err != nil {
+		err = fmt.Errorf("wal: log failed: %w", l.err)
+	}
+	l.mu.Unlock()
 	return err
 }
 
 // Stats reports the log's position.
 type Stats struct {
 	NextLSN       uint64 // LSN the next append will get
+	WrittenLSN    uint64 // every LSN below this has passed the write path (staged or written)
 	DurableLSN    uint64 // every LSN below this is covered by an fsync
 	CheckpointLSN uint64 // redo low-water mark (0 = no checkpoint)
 	Segment       string // active segment file name
 	SegmentBytes  int64  // bytes in the active segment
 }
 
-// Stats returns the current log position.
+// Stats returns the current log position. It takes only the state mutex,
+// so it never blocks behind an in-flight write or fsync.
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return Stats{
 		NextLSN:       l.nextLSN,
+		WrittenLSN:    l.written,
 		DurableLSN:    l.durable,
 		CheckpointLSN: l.ckptLSN,
-		Segment:       l.segName,
-		SegmentBytes:  l.segBytes,
+		Segment:       l.statSegName,
+		SegmentBytes:  l.statSegBytes,
 	}
 }
 
@@ -451,22 +747,6 @@ func (l *Log) Unwatch(ch <-chan struct{}) {
 		if w == ch {
 			l.watchers = append(l.watchers[:i], l.watchers[i+1:]...)
 			return
-		}
-	}
-}
-
-// advanceDurableLocked publishes the current nextLSN as durable (called
-// with l.mu held, immediately after a successful fsync of the active
-// segment) and pokes every watcher.
-func (l *Log) advanceDurableLocked() {
-	if l.nextLSN == l.durable {
-		return
-	}
-	l.durable = l.nextLSN
-	for _, ch := range l.watchers {
-		select {
-		case ch <- struct{}{}:
-		default: // already pending; the watcher will see the new mark
 		}
 	}
 }

@@ -235,17 +235,25 @@ func (m *Manager) commitTop(id tree.TID, tx *Tx, start time.Time) error {
 		m.lm.Commit(id, v)
 		return nil
 	}
+	// Both branches route through the same error check: a failing apply
+	// (or a failed durable append) aborts the transaction — the callback
+	// can never fail silently.
+	var err error
 	if m.wal != nil {
 		rec := wal.Record{Commit: &wal.CommitRecord{TID: string(id), Value: v, Effects: tx.takeEffects()}}
-		if err := m.wal.AppendApply(rec, apply); err != nil {
-			m.lm.Abort(id)
-			d := time.Since(start)
-			m.met.ObserveTx(d, false)
-			m.met.Trace(event.Abort.String(), string(id), "", d)
+		err = m.wal.AppendApply(rec, apply)
+	} else {
+		err = apply()
+	}
+	if err != nil {
+		m.lm.Abort(id)
+		d := time.Since(start)
+		m.met.ObserveTx(d, false)
+		m.met.Trace(event.Abort.String(), string(id), "", d)
+		if m.wal != nil {
 			return fmt.Errorf("nestedtx: durable commit of %s: %w", id, err)
 		}
-	} else {
-		apply()
+		return fmt.Errorf("nestedtx: commit of %s: %w", id, err)
 	}
 	d := time.Since(start)
 	m.met.ObserveTx(d, true)
