@@ -216,8 +216,11 @@ func (c *Client) Ping() error {
 	return respErr(resp)
 }
 
-// State fetches the committed-to-root state of an object. Like
-// Manager.State it is only stable when no transactions are in flight.
+// State fetches the committed-to-root state of an object: the version
+// at the root of the version map, reflecting exactly the top-level
+// commits so far — never a live writer's tentative version, and never a
+// write that later aborts. Each call is an independent point read; for
+// a multi-object consistent cut, use [Client.RunReadOnly].
 func (c *Client) State(obj string) (nestedtx.State, error) {
 	resp, err := c.call(&wire.Request{Type: wire.TState, Obj: obj})
 	if err != nil {

@@ -130,6 +130,11 @@ func main() {
 			met.ReplFollowers, met.ReplLagRecords, met.ReplLagSeconds)
 		printHist("ship latency", met.ShipLatency)
 	}
+	if met.SnapTxs > 0 || met.SnapPublishes > 0 {
+		fmt.Printf("  snapshots      txs=%d reads=%d publishes=%d pinned=%d\n",
+			met.SnapTxs, met.SnapReads, met.SnapPublishes, met.SnapPinned)
+		printHist("snap read", met.SnapReadLatency)
+	}
 
 	if *dump {
 		if len(met.Trace) == 0 {

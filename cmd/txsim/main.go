@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	txsim [-exp e3|e4|e5|e7|e9|all] [-seed S] [-json] [-shards N]
+//	txsim [-exp e3|e4|e5|e7|e9|all] [-seed S] [-json] [-shards N] [-readonly-frac F]
 package main
 
 import (
@@ -22,8 +22,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	asJSON := flag.Bool("json", false, "emit one JSON object per experiment row instead of tables")
 	shards := flag.Int("shards", 0, "lock-manager shard count (0 = GOMAXPROCS)")
+	roFrac := flag.Float64("readonly-frac", 0,
+		"fraction of transactions routed through read-only snapshot scans instead of locking")
 	flag.Parse()
 	sim.DefaultLockShards = *shards
+	sim.DefaultReadOnlyFraction = *roFrac
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 

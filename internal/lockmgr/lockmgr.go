@@ -294,6 +294,7 @@ func (m *Manager) Register(x string, init adt.State) error {
 		read:     tree.NewSet(),
 		write:    tree.NewSet(tree.Root),
 		versions: map[tree.TID]adt.State{tree.Root: init},
+		dirty:    tree.NewSet(),
 	}
 	sh.objects[x] = ls
 	sh.indexAddLocked(tree.Root, ls)
@@ -347,6 +348,57 @@ func (m *Manager) CurrentState(x string) (adt.State, error) {
 		return nil, fmt.Errorf("lockmgr: object %q not registered", x)
 	}
 	return ls.current(), nil
+}
+
+// CommittedState returns the committed-to-root state of x: the root's
+// version in M(X)'s version map, which reflects exactly the top-level
+// transactions whose commits have reached x — never a live writer's
+// tentative version. This is the safe read path for observers outside
+// any transaction; CurrentState by contrast answers the *least*
+// write-lockholder's version and may expose uncommitted state.
+func (m *Manager) CommittedState(x string) (adt.State, error) {
+	sh := m.shardFor(x)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ls, ok := sh.objects[x]
+	if !ok {
+		return nil, fmt.Errorf("lockmgr: object %q not registered", x)
+	}
+	v, ok := ls.versions[tree.Root]
+	if !ok {
+		// The root's version exists from Register until the object dies
+		// with the manager; Commit only ever moves versions toward it.
+		panic("lockmgr: root version lost for " + x)
+	}
+	return v, nil
+}
+
+// TopVersions returns the new root versions a committing top-level
+// transaction is about to install: for every object top holds a write
+// lock on, the version top holds. The runtime calls it inside the
+// top-level commit sequence — after every descendant has committed into
+// top, before Commit(top) releases the locks — to publish the commit
+// into the snapshot store. Aborted descendants' versions were already
+// discarded, so the result contains only effects that commit to root.
+func (m *Manager) TopVersions(top tree.TID) map[string]adt.State {
+	var out map[string]adt.State
+	for _, sh := range m.fpShards(top) {
+		sh.mu.Lock()
+		for ls := range sh.held[top] {
+			// dirty, not just write-locked: under exclusive locking pure
+			// readers hold write locks too, but their (unchanged) versions
+			// are not publications — the conflict order the checker
+			// rebuilds only contains actual mutations.
+			if ls.write.Has(top) && ls.dirty.Has(top) {
+				if out == nil {
+					out = make(map[string]adt.State)
+				}
+				out[ls.name] = ls.versions[top]
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // Registered reports whether object x has been registered.
@@ -537,6 +589,10 @@ func (m *Manager) Commit(t tree.TID, value event.Value) {
 				ls.write.Add(p)
 				ls.versions[p] = ls.versions[t]
 				delete(ls.versions, t)
+				if ls.dirty.Has(t) {
+					ls.dirty.Remove(t)
+					ls.dirty.Add(p)
+				}
 				touched = true
 			}
 			if ls.read.Has(t) {
@@ -585,6 +641,7 @@ func (m *Manager) Abort(t tree.TID) {
 				if u.IsDescendantOf(t) {
 					ls.write.Remove(u)
 					delete(ls.versions, u)
+					ls.dirty.Remove(u)
 					touched = true
 				}
 			}

@@ -48,7 +48,13 @@ type lockState struct {
 	read     tree.Set
 	write    tree.Set
 	versions map[tree.TID]adt.State
-	queue    []*waiter
+	// dirty marks the write-lockholders that actually mutated the object
+	// (applied a non-read-only op, directly or via a committed
+	// descendant). Under exclusive locking read-only accesses take write
+	// locks too; publication to the snapshot store keys off dirty, not
+	// the write table, so pure readers never publish.
+	dirty tree.Set
+	queue []*waiter
 }
 
 type waiter struct {
@@ -199,6 +205,9 @@ func (sh *shard) grantLocked(ls *lockState, tx, access tree.TID, op adt.Op, writ
 	if write {
 		ls.write.Add(tx)
 		ls.versions[tx] = next
+		if !op.ReadOnly() {
+			ls.dirty.Add(tx)
+		}
 	} else {
 		ls.read.Add(tx)
 	}

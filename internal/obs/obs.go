@@ -372,6 +372,19 @@ type Metrics struct {
 	ReplLagRecords Gauge
 	ReplLagNS      Gauge
 
+	// SnapReadLatency is the latency of each snapshot read: version
+	// lookup plus operation application, never a lock wait.
+	SnapReadLatency Histogram
+
+	// Snapshot-transaction counters: read-only transactions begun,
+	// reads served from pinned versions, and top-level commits published
+	// into the snapshot store. SnapPinned is the number of currently
+	// live snapshot pins (what bounds version-chain trimming).
+	SnapTxs       Counter
+	SnapReads     Counter
+	SnapPublishes Counter
+	SnapPinned    Gauge
+
 	// Tracer, when non-nil, receives one entry per transaction
 	// lifecycle event and lock wait/acquire.
 	Tracer *Tracer
@@ -550,6 +563,42 @@ func (m *Metrics) SetReplLag(records uint64, behind time.Duration) {
 	m.ReplLagNS.Set(int64(behind))
 }
 
+// ObserveSnapRead records one snapshot read.
+func (m *Metrics) ObserveSnapRead(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.SnapReadLatency.Observe(d)
+	m.SnapReads.Inc()
+}
+
+// SnapBegin records a read-only snapshot transaction starting; SnapEnd
+// records it releasing its pin.
+func (m *Metrics) SnapBegin() {
+	if m == nil {
+		return
+	}
+	m.SnapTxs.Inc()
+	m.SnapPinned.Add(1)
+}
+
+// SnapEnd undoes SnapBegin's pin count.
+func (m *Metrics) SnapEnd() {
+	if m == nil {
+		return
+	}
+	m.SnapPinned.Add(-1)
+}
+
+// ObserveSnapPublish records one top-level commit published into the
+// snapshot store.
+func (m *Metrics) ObserveSnapPublish() {
+	if m == nil {
+		return
+	}
+	m.SnapPublishes.Inc()
+}
+
 // Snapshot is a point-in-time copy of a Metrics set (histograms as
 // HistSnapshots, counters and gauges as plain numbers). The trace ring
 // is not included — dump it separately via Tracer.Dump.
@@ -584,6 +633,12 @@ type Snapshot struct {
 	ReplFollowers      int64
 	ReplLagRecords     int64
 	ReplLag            time.Duration
+
+	SnapReadLatency HistSnapshot
+	SnapTxs         uint64
+	SnapReads       uint64
+	SnapPublishes   uint64
+	SnapPinned      int64
 }
 
 // Victims returns the total victim count across causes.
@@ -628,5 +683,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		ReplFollowers:      m.ReplFollowers.Load(),
 		ReplLagRecords:     m.ReplLagRecords.Load(),
 		ReplLag:            time.Duration(m.ReplLagNS.Load()),
+
+		SnapReadLatency: m.SnapReadLatency.Snapshot(),
+		SnapTxs:         m.SnapTxs.Load(),
+		SnapReads:       m.SnapReads.Load(),
+		SnapPublishes:   m.SnapPublishes.Load(),
+		SnapPinned:      m.SnapPinned.Load(),
 	}
 }

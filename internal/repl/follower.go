@@ -10,6 +10,7 @@ import (
 
 	"nestedtx/internal/adt"
 	"nestedtx/internal/obs"
+	"nestedtx/internal/snap"
 	"nestedtx/internal/wal"
 	"nestedtx/internal/wire"
 )
@@ -41,6 +42,8 @@ type Follower struct {
 
 	mu            sync.Mutex
 	states        map[string]adt.State
+	snap          *snap.Store // committed-version store behind BeginSnapshot
+	snapID        uint64
 	leader        string
 	leaderDurable uint64
 	progress      time.Time // last time the local log advanced
@@ -62,12 +65,18 @@ func OpenFollower(dir string, opts wal.Options) (*Follower, error) {
 	if err != nil {
 		return nil, err
 	}
+	states := rec.States()
+	sn := snap.New(false)
+	for x, st := range states {
+		sn.Base(x, st)
+	}
 	return &Follower{
 		dir:      dir,
 		opts:     opts,
 		log:      lg,
 		met:      opts.Metrics,
-		states:   rec.States(),
+		states:   states,
+		snap:     sn,
 		progress: time.Now(),
 		stop:     make(chan struct{}),
 	}, nil
@@ -230,8 +239,10 @@ func (f *Follower) applyBatch(r *wire.Repl) error {
 		case rec.Register != nil:
 			if _, ok := f.states[rec.Register.Name]; !ok {
 				f.states[rec.Register.Name] = rec.Register.Initial
+				f.snap.Base(rec.Register.Name, rec.Register.Initial)
 			}
 		case rec.Commit != nil:
+			var updates map[string]adt.State
 			for i, e := range rec.Commit.Effects {
 				st, ok := f.states[e.Obj]
 				if !ok {
@@ -244,6 +255,20 @@ func (f *Follower) applyBatch(r *wire.Repl) error {
 						ErrDiverged, rec.LSN, i, e.Obj, e.Val, v)
 				}
 				f.states[e.Obj] = nextSt
+				if !e.Op.ReadOnly() {
+					if updates == nil {
+						updates = make(map[string]adt.State)
+					}
+					updates[e.Obj] = nextSt
+				}
+			}
+			// Publish the record's writes as one atomic snapshot step:
+			// replay order is WAL order is the leader's conflict order,
+			// so follower snapshots pin the same serial prefixes leader
+			// snapshots do (just possibly a little behind).
+			if len(updates) > 0 {
+				f.snap.Publish(rec.Commit.TID, updates)
+				f.met.ObserveSnapPublish()
 			}
 		}
 	}
@@ -269,8 +294,16 @@ func (f *Follower) installSnapshot(r *wire.Repl) error {
 	if err := f.log.InstallSnapshot(r.NextLSN, states); err != nil {
 		return err
 	}
+	// The old version chains describe a history this checkpoint replaces;
+	// swap in a fresh store. Pins already taken keep reading the old
+	// store's (still valid, just pre-checkpoint) prefix until released.
+	sn := snap.New(false)
+	for x, st := range states {
+		sn.Base(x, st)
+	}
 	f.mu.Lock()
 	f.states = states
+	f.snap = sn
 	f.progress = time.Now()
 	f.mu.Unlock()
 	f.publishLag()

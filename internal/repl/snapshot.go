@@ -1,0 +1,80 @@
+package repl
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nestedtx/internal/adt"
+	"nestedtx/internal/snap"
+)
+
+// Snapshot is a read-only snapshot transaction served by a follower: it
+// pins the sequence number of the latest replayed top-level commit and
+// answers every read from the committed version chain at or below that
+// point. The view is the same consistent-cut guarantee a leader-side
+// snapshot gives — replay order is WAL order is the leader's conflict
+// order — just possibly lagging the leader by the replication delay.
+// Safe for concurrent use; Close releases the pin so chains can trim.
+type Snapshot struct {
+	f   *Follower
+	pin *snap.Pin
+	id  string
+
+	mu   sync.Mutex
+	done bool
+}
+
+// BeginSnapshot starts a read-only snapshot transaction over the
+// follower's replicated states. The caller must Close it.
+func (f *Follower) BeginSnapshot() *Snapshot {
+	n := atomic.AddUint64(&f.snapID, 1) - 1
+	f.mu.Lock()
+	pin := f.snap.Acquire()
+	f.mu.Unlock()
+	f.met.SnapBegin()
+	return &Snapshot{f: f, pin: pin, id: fmt.Sprintf("S%d", n)}
+}
+
+// ID returns the snapshot transaction's identifier (S0, S1, …).
+func (s *Snapshot) ID() string { return s.id }
+
+// Seq returns the pinned commit sequence number: the count of commit
+// records this follower had replayed when the snapshot began.
+func (s *Snapshot) Seq() uint64 { return s.pin.Seq() }
+
+// Read applies a read-only operation to obj's state as of the pinned
+// sequence number and returns its value.
+func (s *Snapshot) Read(obj string, op adt.Op) (adt.Value, error) {
+	if !op.ReadOnly() {
+		return nil, fmt.Errorf("repl: %s: operation %T is not read-only", s.id, op)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return nil, fmt.Errorf("repl: %s: snapshot is closed", s.id)
+	}
+	start := time.Now()
+	st, err := s.pin.Read(obj)
+	if err != nil {
+		return nil, fmt.Errorf("repl: %s: %w", s.id, err)
+	}
+	_, v := op.Apply(st)
+	s.f.met.ObserveSnapRead(time.Since(start))
+	return v, nil
+}
+
+// Close ends the snapshot transaction and releases its pin. Idempotent.
+func (s *Snapshot) Close() error {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return nil
+	}
+	s.done = true
+	s.mu.Unlock()
+	s.pin.Release()
+	s.f.met.SnapEnd()
+	return nil
+}

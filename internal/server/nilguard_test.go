@@ -1,0 +1,24 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	"nestedtx/internal/wire"
+)
+
+// TestMapOpErrNilManager: mapOpErr's unregistered-object classification
+// consults the manager, which is nil during the promotion window (the
+// follower is detached, the recovered manager not yet installed). An op
+// error mapped in that window must come back as a typed response, not
+// crash the session on the nil manager.
+func TestMapOpErrNilManager(t *testing.T) {
+	ss := &session{srv: &Server{}}
+	resp := ss.mapOpErr("obj", errors.New("some op failure"))
+	if resp == nil || resp.OK {
+		t.Fatalf("mapOpErr with nil manager: %+v, want a failure response", resp)
+	}
+	if resp.Code != wire.CodeInternal {
+		t.Fatalf("mapOpErr with nil manager: code %q, want %q", resp.Code, wire.CodeInternal)
+	}
+}

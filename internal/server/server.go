@@ -83,6 +83,9 @@ type Counters struct {
 	Commits         uint64
 	Aborts          uint64
 	DeadlockVictims uint64
+	// SnapshotTxs counts read-only snapshot transactions begun; kept out
+	// of TxBegun so Commits + Aborts <= TxBegun stays an invariant.
+	SnapshotTxs uint64
 }
 
 // Server serves one Manager's transaction universe over a listener.
@@ -365,13 +368,26 @@ type session struct {
 	inFlight   atomic.Bool  // a request is being handled right now
 
 	txs    map[uint64]*txHandle
-	nextTx uint64
+	ros    map[uint64]roTx // open read-only snapshot transactions
+	nextTx uint64          // shared id space for txs and ros
+}
+
+// roTx is an open read-only snapshot transaction, served either by the
+// leader's version store (*nestedtx.Snapshot) or by a follower's
+// replicated one (*repl.Snapshot). It never touches the lock manager,
+// which is why its verbs bypass the follower and promotion gates.
+type roTx interface {
+	ID() string
+	Seq() uint64
+	Read(obj string, op adt.Op) (adt.Value, error)
+	Close() error
 }
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	ctx, cancel := context.WithCancel(context.Background())
-	ss := &session{srv: s, conn: conn, ctx: ctx, cancel: cancel, txs: make(map[uint64]*txHandle)}
+	ss := &session{srv: s, conn: conn, ctx: ctx, cancel: cancel,
+		txs: make(map[uint64]*txHandle), ros: make(map[uint64]roTx)}
 	ss.lastActive.Store(time.Now().UnixNano())
 	s.mu.Lock()
 	if s.closed {
@@ -390,6 +406,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		cancel()
 		conn.Close()
 		ss.wg.Wait()
+		// Release any snapshot pins the client left open so the version
+		// store can trim the history they were holding.
+		for _, ro := range ss.ros {
+			ro.Close()
+		}
 		s.mu.Lock()
 		delete(s.sessions, ss)
 		s.mu.Unlock()
@@ -540,11 +561,25 @@ func (ss *session) body(h *txHandle) func(*nestedtx.Tx) error {
 // ---- request handling ----
 
 func (ss *session) handle(req *wire.Request) *wire.Response {
+	// Read-only snapshot transactions bypass the locking gates below:
+	// they never touch the lock manager, so a follower can serve them
+	// (from its replicated version store) just as well as the leader.
+	switch req.Type {
+	case wire.TBegin:
+		if req.ReadOnly {
+			return ss.handleBeginRO()
+		}
+	case wire.TSub, wire.TRead, wire.TWrite, wire.TCommit, wire.TAbort:
+		if _, ok := ss.ros[req.Tx]; ok {
+			return ss.handleRO(req)
+		}
+	}
 	switch req.Type {
 	case wire.TBegin, wire.TSub, wire.TRead, wire.TWrite, wire.TCommit, wire.TAbort:
-		// A read replica serves no transactions at all — not even reads:
-		// a replica read is a plain committed-state read (STATE), never a
-		// locked access. Writes must go to the leader.
+		// A read replica serves no locking transactions at all — not even
+		// reads: a replica read is a plain committed-state read (STATE)
+		// or a snapshot transaction, never a locked access. Writes must
+		// go to the leader.
 		if f := ss.srv.Follower(); f != nil {
 			return fail(wire.CodeReadOnly,
 				fmt.Sprintf("server: read-only replica of %s; transactions go to the leader", f.Leader()))
@@ -639,6 +674,7 @@ func (ss *session) handleStats() *wire.Response {
 		Commits:         c.Commits,
 		Aborts:          c.Aborts,
 		DeadlockVictims: c.DeadlockVictims,
+		SnapshotTxs:     c.SnapshotTxs,
 		Acquires:        lk.Acquires,
 		Waits:           lk.Waits,
 		Deadlocks:       lk.Deadlocks,
@@ -706,6 +742,12 @@ func (ss *session) handleMetrics(dump bool) *wire.Response {
 		ReplFollowers:      s.ReplFollowers,
 		ReplLagRecords:     s.ReplLagRecords,
 		ReplLagSeconds:     s.ReplLag.Seconds(),
+
+		SnapReadLatency: histQ(s.SnapReadLatency),
+		SnapTxs:         s.SnapTxs,
+		SnapReads:       s.SnapReads,
+		SnapPublishes:   s.SnapPublishes,
+		SnapPinned:      s.SnapPinned,
 	}
 	if dump && met.Tracer != nil {
 		entries := met.Tracer.Dump()
@@ -789,6 +831,67 @@ func (ss *session) handleBegin() *wire.Response {
 		return &wire.Response{OK: true, Tx: h.id, TxID: txid}
 	case <-h.done:
 		return mapTxErr(<-h.res)
+	}
+}
+
+// handleBeginRO opens a read-only snapshot transaction. It is served by
+// whichever committed-version store this node has — the manager's on a
+// leader, the replicated one on a follower — and involves no locks, so
+// long scans neither block nor are blocked by writers.
+func (ss *session) handleBeginRO() *wire.Response {
+	if ss.srv.isClosed() {
+		return fail(wire.CodeShutdown, "server: draining")
+	}
+	var ro roTx
+	if f := ss.srv.Follower(); f != nil {
+		ro = f.BeginSnapshot()
+	} else if m := ss.srv.Manager(); m != nil {
+		ro = m.BeginSnapshot()
+	} else {
+		return fail(wire.CodeReadOnly, "server: promotion in progress; retry")
+	}
+	ss.srv.count(func(c *Counters) { c.SnapshotTxs++ })
+	ss.nextTx++
+	id := ss.nextTx
+	ss.ros[id] = ro
+	return &wire.Response{OK: true, Tx: id, TxID: ro.ID(), Snap: ro.Seq()}
+}
+
+// handleRO serves the transaction verbs on an open snapshot handle.
+// Reads go straight to the pinned version chain; WRITE is refused with
+// read_only; SUB is meaningless (there is nothing to nest — a snapshot
+// cannot abort partially); COMMIT and ABORT are the same operation:
+// release the pin.
+func (ss *session) handleRO(req *wire.Request) *wire.Response {
+	ro := ss.ros[req.Tx]
+	switch req.Type {
+	case wire.TRead:
+		op, err := wire.DecodeOp(req.Op)
+		if err != nil {
+			return fail(wire.CodeBadRequest, err.Error())
+		}
+		if !op.ReadOnly() {
+			return fail(wire.CodeBadRequest, fmt.Sprintf("READ with non-read-only op %v", op))
+		}
+		v, err := ro.Read(req.Obj, op)
+		if err != nil {
+			return fail(wire.CodeBadRequest, err.Error())
+		}
+		raw, err := wire.EncodeValue(v)
+		if err != nil {
+			return fail(wire.CodeInternal, err.Error())
+		}
+		return &wire.Response{OK: true, Value: raw}
+	case wire.TWrite:
+		return fail(wire.CodeReadOnly,
+			fmt.Sprintf("transaction %d is a read-only snapshot; writes go to a locking transaction", req.Tx))
+	case wire.TSub:
+		return fail(wire.CodeBadRequest,
+			fmt.Sprintf("transaction %d is a read-only snapshot; it cannot open subtransactions", req.Tx))
+	default: // TCommit, TAbort
+		ro.Close()
+		delete(ss.ros, req.Tx)
+		return &wire.Response{OK: true}
 	}
 }
 
@@ -980,9 +1083,14 @@ func (ss *session) mapOpErr(obj string, err error) *wire.Response {
 		return fail(wire.CodeAborted, err.Error())
 	default:
 		// Off the happy path only: distinguish the client naming an
-		// unregistered object from a genuine server-side failure.
-		if _, serr := ss.srv.Manager().State(obj); serr != nil {
-			return fail(wire.CodeBadRequest, serr.Error())
+		// unregistered object from a genuine server-side failure. The
+		// manager can be nil here (a promotion claimed the server while
+		// this access was in flight): skip the classification rather
+		// than crash the session on the missing manager.
+		if m := ss.srv.Manager(); m != nil {
+			if _, serr := m.State(obj); serr != nil {
+				return fail(wire.CodeBadRequest, serr.Error())
+			}
 		}
 		return fail(wire.CodeInternal, err.Error())
 	}

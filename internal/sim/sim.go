@@ -52,6 +52,12 @@ type Workload struct {
 	// read), the rest write-only. This is the clean design for the
 	// read-concurrency experiment (E3) — no upgrade deadlocks.
 	ReadTxFraction float64
+	// ReadOnlyTxFraction routes this share of submitted transactions
+	// through Manager.RunReadOnly — snapshot scans over the committed
+	// version store (OpsPerLeaf CtrGet reads each) instead of locking
+	// transactions. Unlike ReadTxFraction's read-locked transactions,
+	// these take no locks at all; E17 compares the two regimes.
+	ReadOnlyTxFraction float64
 	// HotspotFraction routes this share of accesses to object 0.
 	HotspotFraction float64
 	// AbortProb is the probability a leaf subtransaction voluntarily
@@ -85,6 +91,12 @@ type Workload struct {
 // sweeps all experiments at a chosen shard count.
 var DefaultLockShards int
 
+// DefaultReadOnlyFraction, when non-zero, applies to every workload
+// whose ReadOnlyTxFraction is unset — the txsim -readonly-frac flag
+// sets it so one invocation reroutes that share of every experiment's
+// transactions through snapshot reads.
+var DefaultReadOnlyFraction float64
+
 // Validate fills defaults and rejects nonsense.
 func (w *Workload) Validate() error {
 	if w.Objects <= 0 || w.Transactions <= 0 {
@@ -104,6 +116,12 @@ func (w *Workload) Validate() error {
 	}
 	if w.ReadFraction < 0 || w.ReadFraction > 1 {
 		return errors.New("sim: ReadFraction out of [0,1]")
+	}
+	if w.ReadOnlyTxFraction == 0 {
+		w.ReadOnlyTxFraction = DefaultReadOnlyFraction
+	}
+	if w.ReadOnlyTxFraction < 0 || w.ReadOnlyTxFraction > 1 {
+		return errors.New("sim: ReadOnlyTxFraction out of [0,1]")
 	}
 	return nil
 }
@@ -233,6 +251,9 @@ func Run(w Workload) (Result, error) {
 // runOne submits one top-level transaction, retrying deadlock victims
 // with jittered backoff so competing victims restart out of phase.
 func runOne(m *nestedtx.Manager, w *Workload, rng *rand.Rand, ops, retried *int64) error {
+	if w.ReadOnlyTxFraction > 0 && rng.Float64() < w.ReadOnlyTxFraction {
+		return snapshotScan(m, w, rng, ops)
+	}
 	var err error
 	mode := opMix
 	if w.ReadTxFraction > 0 {
@@ -257,6 +278,22 @@ func runOne(m *nestedtx.Manager, w *Workload, rng *rand.Rand, ops, retried *int6
 		time.Sleep(time.Duration(rng.Int63n(int64(100<<shift))) * time.Microsecond)
 	}
 	return err
+}
+
+// snapshotScan runs one read-only snapshot transaction: OpsPerLeaf
+// CtrGet reads against the pinned committed prefix. It takes no locks,
+// so it needs no deadlock-retry loop.
+func snapshotScan(m *nestedtx.Manager, w *Workload, rng *rand.Rand, ops *int64) error {
+	return m.RunReadOnly(func(s *nestedtx.Snapshot) error {
+		for i := 0; i < w.OpsPerLeaf; i++ {
+			if _, err := s.Read(objName(pickObject(w, rng)), nestedtx.CtrGet{}); err != nil {
+				return err
+			}
+			atomic.AddInt64(ops, 1)
+			think(w.ThinkNs)
+		}
+		return nil
+	})
 }
 
 // accessMode says how a transaction's accesses are classified.

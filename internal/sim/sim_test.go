@@ -91,6 +91,39 @@ func TestCounterConservation(t *testing.T) {
 	}
 }
 
+func TestRunMixedReadOnlyVerifies(t *testing.T) {
+	// Half the transactions run as read-only snapshot scans (no locks),
+	// interleaved with ordinary locking transactions. The recorded
+	// schedule must still verify — the checker places each snapshot
+	// transaction at its pin point in the commit order.
+	w := Workload{
+		Objects:            4,
+		Transactions:       40,
+		Concurrency:        8,
+		Depth:              1,
+		Fanout:             2,
+		OpsPerLeaf:         3,
+		ReadFraction:       0.25,
+		ReadOnlyTxFraction: 0.5,
+		Retries:            200,
+		Record:             true,
+		Seed:               11,
+	}
+	res, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Manager.Metrics().Snapshot().SnapTxs; got == 0 {
+		t.Fatal("no snapshot transactions ran at ReadOnlyTxFraction=0.5")
+	}
+	if err := res.Manager.Verify(); err != nil {
+		t.Fatalf("mixed snapshot/locking run failed verification: %v", err)
+	}
+	if err := res.Manager.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestValidateDefaults(t *testing.T) {
 	w := Workload{Objects: 1, Transactions: 1}
 	if err := w.Validate(); err != nil {
@@ -106,6 +139,10 @@ func TestValidateDefaults(t *testing.T) {
 	bad2 := Workload{Objects: 1, Transactions: 1, ReadFraction: 1.5}
 	if err := bad2.Validate(); err == nil {
 		t.Fatal("out-of-range ReadFraction must be rejected")
+	}
+	bad3 := Workload{Objects: 1, Transactions: 1, ReadOnlyTxFraction: -0.1}
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("out-of-range ReadOnlyTxFraction must be rejected")
 	}
 }
 

@@ -1,0 +1,215 @@
+// Package snap is the committed-version store behind read-only snapshot
+// transactions: a multi-version map from object name to the chain of
+// committed-to-root states the object has passed through, each tagged
+// with the monotone sequence number of the top-level commit that
+// installed it.
+//
+// The store is fed from inside the runtime's top-level commit sequence,
+// *before* the lock manager releases the committing transaction's locks.
+// Under strict locking any conflicting successor is granted — and so
+// published — strictly after us, which makes publication order agree
+// with the per-object conflict order (and, on a durable manager, with
+// WAL order). A reader that pins sequence number s therefore observes
+// exactly the committed prefix of the serial history up to s: all of a
+// transaction's updates or none of them, never a tentative version, and
+// never a write that later aborts (aborted transactions are not
+// published).
+//
+// Readers never touch the lock manager: Acquire pins the current
+// sequence number under the store's read-write mutex and every read is
+// a binary search over one object's version chain. Chains are trimmed
+// on publication down to the oldest version still reachable from a live
+// pin, so retained history is bounded by reader lifetimes, not run
+// length.
+package snap
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nestedtx/internal/adt"
+)
+
+// PubEntry is one recorded publication: the versions a committing
+// top-level transaction installed and the sequence number it was
+// assigned. The log (enabled via New's record argument) is consumed by
+// the snapshot extension of the Theorem-34 checker.
+type PubEntry struct {
+	Seq     uint64
+	Top     string
+	Updates map[string]adt.State
+}
+
+// version is one committed state of an object, visible to pins ≥ Seq.
+type version struct {
+	seq uint64
+	st  adt.State
+}
+
+// Store is the committed-version store. It is safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	seq  uint64 // sequence number of the latest publication
+	objs map[string][]version
+	pins map[uint64]int // live pin refcounts by pinned seq
+	rec  bool
+	log  []PubEntry
+}
+
+// New returns an empty store. With record set, every publication is
+// appended to a log retrievable via Log — unbounded, like the event
+// recorder, so meant for verification runs, not production.
+func New(record bool) *Store {
+	return &Store{
+		objs: make(map[string][]version),
+		pins: make(map[uint64]int),
+		rec:  record,
+	}
+}
+
+// Base registers object x with its initial committed state, visible to
+// pins at or above the current sequence number — a pin taken before the
+// registration correctly fails to read x.
+func (s *Store) Base(x string, st adt.State) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.objs[x]; dup {
+		panic("snap: object " + x + " re-based")
+	}
+	s.objs[x] = []version{{seq: s.seq, st: st}}
+}
+
+// Publish atomically installs the new committed states of one top-level
+// transaction and returns the sequence number it was assigned. All of
+// the transaction's versions become visible at once: a pin either sees
+// the whole transaction or none of it.
+func (s *Store) Publish(top string, updates map[string]adt.State) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	floor := s.minPinLocked()
+	for x, st := range updates {
+		chain := append(s.objs[x], version{seq: s.seq, st: st})
+		s.objs[x] = trim(chain, floor)
+	}
+	if s.rec {
+		cp := make(map[string]adt.State, len(updates))
+		for x, st := range updates {
+			cp[x] = st
+		}
+		s.log = append(s.log, PubEntry{Seq: s.seq, Top: top, Updates: cp})
+	}
+	return s.seq
+}
+
+// minPinLocked returns the lowest live pinned sequence number, or the
+// current seq when no pins are live. Caller holds s.mu.
+func (s *Store) minPinLocked() uint64 {
+	min := s.seq
+	for p := range s.pins {
+		if p < min {
+			min = p
+		}
+	}
+	return min
+}
+
+// trim drops versions no pin can reach: everything strictly below the
+// latest version at or below floor (which stays, as the floor pin's
+// view of the object).
+func trim(chain []version, floor uint64) []version {
+	keep := 0
+	for i, v := range chain {
+		if v.seq <= floor {
+			keep = i
+		}
+	}
+	if keep == 0 {
+		return chain
+	}
+	return append(chain[:0], chain[keep:]...)
+}
+
+// Seq returns the sequence number of the latest publication.
+func (s *Store) Seq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
+// Pin is a live reference to one sequence number; reads through it see
+// the committed prefix up to that publication. Release it when done so
+// the store can trim history.
+type Pin struct {
+	s    *Store
+	seq  uint64
+	once sync.Once
+}
+
+// Acquire pins the current sequence number.
+func (s *Store) Acquire() *Pin {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pins[s.seq]++
+	return &Pin{s: s, seq: s.seq}
+}
+
+// Seq returns the pinned sequence number.
+func (p *Pin) Seq() uint64 { return p.seq }
+
+// Read returns object x's latest committed state at or below the pinned
+// sequence number. It fails when x was not registered at the pin point.
+func (p *Pin) Read(x string) (adt.State, error) {
+	p.s.mu.RLock()
+	defer p.s.mu.RUnlock()
+	chain := p.s.objs[x]
+	// Latest version with seq ≤ p.seq.
+	i := sort.Search(len(chain), func(i int) bool { return chain[i].seq > p.seq }) - 1
+	if i < 0 {
+		return nil, fmt.Errorf("snap: object %q has no version at snapshot %d", x, p.seq)
+	}
+	return chain[i].st, nil
+}
+
+// Release drops the pin. Idempotent.
+func (p *Pin) Release() {
+	p.once.Do(func() {
+		p.s.mu.Lock()
+		defer p.s.mu.Unlock()
+		if p.s.pins[p.seq]--; p.s.pins[p.seq] <= 0 {
+			delete(p.s.pins, p.seq)
+		}
+	})
+}
+
+// Pinned returns the number of live pins.
+func (s *Store) Pinned() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, c := range s.pins {
+		n += c
+	}
+	return n
+}
+
+// Versions returns the total number of retained versions across all
+// objects — what chain trimming is bounding. For tests and stats.
+func (s *Store) Versions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, chain := range s.objs {
+		n += len(chain)
+	}
+	return n
+}
+
+// Log returns a snapshot of the publication log (nil unless the store
+// was created with record set).
+func (s *Store) Log() []PubEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]PubEntry(nil), s.log...)
+}

@@ -1,0 +1,212 @@
+package snap
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"nestedtx/internal/adt"
+)
+
+func ctr(n int64) adt.State { return adt.Counter{N: n} }
+
+func TestPublishAndRead(t *testing.T) {
+	s := New(false)
+	s.Base("x", ctr(0))
+	s.Base("y", ctr(100))
+
+	p0 := s.Acquire()
+	seq1 := s.Publish("T1", map[string]adt.State{"x": ctr(1)})
+	if seq1 != 1 {
+		t.Fatalf("first publication got seq %d, want 1", seq1)
+	}
+	p1 := s.Acquire()
+	s.Publish("T2", map[string]adt.State{"x": ctr(2), "y": ctr(200)})
+	p2 := s.Acquire()
+
+	cases := []struct {
+		pin  *Pin
+		x, y int64
+	}{
+		{p0, 0, 100},
+		{p1, 1, 100},
+		{p2, 2, 200},
+	}
+	for i, c := range cases {
+		for obj, want := range map[string]int64{"x": c.x, "y": c.y} {
+			st, err := c.pin.Read(obj)
+			if err != nil {
+				t.Fatalf("pin %d read %s: %v", i, obj, err)
+			}
+			if got := st.(adt.Counter).N; got != want {
+				t.Errorf("pin %d (seq %d) read %s = %d, want %d", i, c.pin.Seq(), obj, got, want)
+			}
+		}
+	}
+	p0.Release()
+	p1.Release()
+	p2.Release()
+}
+
+func TestPinIsolatedFromLaterPublishes(t *testing.T) {
+	s := New(false)
+	s.Base("x", ctr(0))
+	p := s.Acquire()
+	for i := 1; i <= 10; i++ {
+		s.Publish("T", map[string]adt.State{"x": ctr(int64(i))})
+	}
+	st, err := p.Read("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.(adt.Counter).N; got != 0 {
+		t.Fatalf("pinned read moved: got %d, want 0", got)
+	}
+	p.Release()
+}
+
+func TestLateRegistrationInvisibleToOlderPins(t *testing.T) {
+	s := New(false)
+	s.Base("x", ctr(0))
+	p := s.Acquire()
+	s.Publish("T1", map[string]adt.State{"x": ctr(1)})
+	s.Base("late", ctr(7))
+	if _, err := p.Read("late"); err == nil {
+		t.Fatal("pin taken before registration read the late object")
+	}
+	q := s.Acquire()
+	st, err := q.Read("late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.(adt.Counter).N; got != 7 {
+		t.Fatalf("late object read %d, want 7", got)
+	}
+	p.Release()
+	q.Release()
+}
+
+func TestTrimBoundedByLivePin(t *testing.T) {
+	s := New(false)
+	s.Base("x", ctr(0))
+	p := s.Acquire() // pins seq 0 forever (until released)
+	for i := 1; i <= 100; i++ {
+		s.Publish("T", map[string]adt.State{"x": ctr(int64(i))})
+	}
+	if got := s.Versions(); got != 101 {
+		t.Fatalf("with a seq-0 pin live, %d versions retained, want all 101", got)
+	}
+	p.Release()
+	// Next publish trims everything below the (now unpinned) floor.
+	s.Publish("T", map[string]adt.State{"x": ctr(101)})
+	if got := s.Versions(); got > 2 {
+		t.Fatalf("after release, %d versions retained, want ≤ 2", got)
+	}
+	// The latest state survives the trim.
+	q := s.Acquire()
+	st, err := q.Read("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.(adt.Counter).N; got != 101 {
+		t.Fatalf("post-trim read %d, want 101", got)
+	}
+	q.Release()
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	s := New(false)
+	s.Base("x", ctr(0))
+	p := s.Acquire()
+	q := s.Acquire()
+	p.Release()
+	p.Release()
+	if got := s.Pinned(); got != 1 {
+		t.Fatalf("double release corrupted the pin count: %d live, want 1", got)
+	}
+	q.Release()
+	if got := s.Pinned(); got != 0 {
+		t.Fatalf("%d pins live after releasing all, want 0", got)
+	}
+}
+
+func TestPublicationLog(t *testing.T) {
+	s := New(true)
+	s.Base("x", ctr(0))
+	s.Publish("T1", map[string]adt.State{"x": ctr(1)})
+	s.Publish("T2", map[string]adt.State{"x": ctr(2)})
+	log := s.Log()
+	if len(log) != 2 {
+		t.Fatalf("log has %d entries, want 2", len(log))
+	}
+	for i, e := range log {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("log[%d].Seq = %d, want %d", i, e.Seq, i+1)
+		}
+	}
+	if log[0].Top != "T1" || log[1].Top != "T2" {
+		t.Errorf("log tops = %s, %s; want T1, T2", log[0].Top, log[1].Top)
+	}
+	if got := log[1].Updates["x"].(adt.Counter).N; got != 2 {
+		t.Errorf("log[1] update = %d, want 2", got)
+	}
+}
+
+func TestConcurrentPublishRead(t *testing.T) {
+	s := New(false)
+	const objs = 8
+	for i := 0; i < objs; i++ {
+		s.Base(fmt.Sprintf("x%d", i), ctr(0))
+	}
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Writer: each publication bumps every object to the same value, so
+	// any pinned read must see one consistent cut (all objects equal).
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for v := int64(1); ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			up := make(map[string]adt.State, objs)
+			for i := 0; i < objs; i++ {
+				up[fmt.Sprintf("x%d", i)] = ctr(v)
+			}
+			s.Publish("T", up)
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for k := 0; k < 200; k++ {
+				p := s.Acquire()
+				var first int64 = -1
+				for i := 0; i < objs; i++ {
+					st, err := p.Read(fmt.Sprintf("x%d", i))
+					if err != nil {
+						t.Error(err)
+						break
+					}
+					n := st.(adt.Counter).N
+					if first == -1 {
+						first = n
+					} else if n != first {
+						t.Errorf("torn snapshot at seq %d: x0=%d x%d=%d", p.Seq(), first, i, n)
+						break
+					}
+				}
+				p.Release()
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+	if got := s.Pinned(); got != 0 {
+		t.Fatalf("%d pins leaked", got)
+	}
+}

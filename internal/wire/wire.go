@@ -95,6 +95,12 @@ type Request struct {
 	Op   json.RawMessage `json:"op,omitempty"`   // adt-encoded operation (READ/WRITE)
 	Dump bool            `json:"dump,omitempty"` // METRICS: include the event trace ring
 	Lsn  uint64          `json:"lsn,omitempty"`  // REPL_HELLO: resume point; REPL_ACK: durable position
+	// ReadOnly on BEGIN opens a read-only snapshot transaction instead
+	// of a locking one: it pins the server's current commit sequence
+	// number and serves READs from committed versions without taking
+	// locks. Followers accept it too (their snapshot store is fed by
+	// the replication apply loop). WRITE and SUB on such a handle fail.
+	ReadOnly bool `json:"read_only,omitempty"`
 }
 
 // Response is one server→client frame.
@@ -104,7 +110,8 @@ type Response struct {
 	Code       string          `json:"code,omitempty"`
 	Err        string          `json:"err,omitempty"`
 	Tx         uint64          `json:"tx,omitempty"`          // new handle (BEGIN/SUB)
-	TxID       string          `json:"txid,omitempty"`        // paper-tree name, e.g. "T0.3.1" (BEGIN/SUB)
+	TxID       string          `json:"txid,omitempty"`        // paper-tree name, e.g. "T0.3.1" (BEGIN/SUB); "S<n>" for snapshots
+	Snap       uint64          `json:"snap,omitempty"`        // pinned commit seqno (read-only BEGIN)
 	Value      json.RawMessage `json:"value,omitempty"`       // adt-encoded access result (READ/WRITE)
 	State      json.RawMessage `json:"state,omitempty"`       // adt-encoded object state (STATE)
 	Stats      *Stats          `json:"stats,omitempty"`       // STATS
@@ -200,6 +207,12 @@ type Stats struct {
 
 	LockShards      uint64 `json:"lock_shards"`                // shard count (configuration)
 	LockEscalations uint64 `json:"lock_escalations,omitempty"` // all-shard deadlock walks
+
+	// SnapshotTxs counts read-only snapshot transactions begun. They are
+	// deliberately not folded into TxBegun/Commits: snapshot handles
+	// never enter the lock manager, so keeping them separate preserves
+	// the Commits + Aborts <= TxBegun accounting invariant.
+	SnapshotTxs uint64 `json:"snapshot_txs,omitempty"`
 }
 
 // HistQ is one latency histogram summarised for the wire: totals plus
@@ -265,6 +278,14 @@ type Metrics struct {
 	ReplFollowers      int64   `json:"repl_followers,omitempty"`
 	ReplLagRecords     int64   `json:"repl_lag_records,omitempty"`
 	ReplLagSeconds     float64 `json:"repl_lag_seconds,omitempty"`
+
+	// Snapshot block; all-zero when no read-only snapshot transactions
+	// ran. SnapPinned is the number of currently live snapshot pins.
+	SnapReadLatency HistQ  `json:"snap_read_latency,omitzero"`
+	SnapTxs         uint64 `json:"snap_txs,omitempty"`
+	SnapReads       uint64 `json:"snap_reads,omitempty"`
+	SnapPublishes   uint64 `json:"snap_publishes,omitempty"`
+	SnapPinned      int64  `json:"snap_pinned,omitempty"`
 
 	TraceDropped uint64       `json:"trace_dropped,omitempty"` // ring overwrites since start
 	Trace        []TraceEntry `json:"trace,omitempty"`

@@ -12,6 +12,7 @@ import (
 	"nestedtx/internal/event"
 	"nestedtx/internal/lockmgr"
 	"nestedtx/internal/obs"
+	"nestedtx/internal/snap"
 	"nestedtx/internal/tree"
 	"nestedtx/internal/wal"
 )
@@ -81,9 +82,22 @@ type Manager struct {
 	// locks are released (see OpenDurable).
 	wal *wal.Log
 
+	// snap is the committed-version store behind read-only snapshot
+	// transactions: every top-level commit publishes its new root
+	// versions there (inside commitTop, before the locks are released),
+	// and BeginSnapshot readers pin a sequence number and read from it
+	// without ever touching the lock manager.
+	snap *snap.Store
+
 	mu      sync.Mutex
 	st      *event.SystemType
 	nextTop int
+
+	// snapMu guards the read-only transaction records kept for Verify
+	// (recording mode only) and the snapshot id counter.
+	snapMu   sync.Mutex
+	snapTxs  []checker.SnapTx
+	nextSnap int
 }
 
 // NewManager returns an empty Manager.
@@ -113,6 +127,7 @@ func NewManager(opts ...Option) *Manager {
 		rec:  rec,
 		mode: mode,
 		met:  met,
+		snap: snap.New(o.record),
 		st:   event.NewSystemType(),
 	}
 }
@@ -140,7 +155,11 @@ func (m *Manager) adopt(name string, initial State) error {
 	m.mu.Lock()
 	m.st.DefineObject(name, initial)
 	m.mu.Unlock()
-	return m.lm.Register(name, initial)
+	if err := m.lm.Register(name, initial); err != nil {
+		return err
+	}
+	m.snap.Base(name, initial)
+	return nil
 }
 
 // MustRegister is Register, panicking on error.
@@ -150,10 +169,16 @@ func (m *Manager) MustRegister(name string, initial State) {
 	}
 }
 
-// State returns the current committed-to-root view of an object's state.
-// It is only stable when no transactions are in flight.
+// State returns the committed-to-root state of an object: the root's
+// version in M(X)'s version map, reflecting exactly the top-level
+// transactions whose commits have reached the object. The answer is
+// always some committed prefix of the history — never a live writer's
+// tentative version, and never a write that later aborts. Transactions
+// may commit concurrently with the call; a commit in flight lands
+// either entirely before or entirely after the read for this object.
+// For a multi-object consistent cut, use [Manager.RunReadOnly].
 func (m *Manager) State(name string) (State, error) {
-	return m.lm.CurrentState(name)
+	return m.lm.CommittedState(name)
 }
 
 // Stats returns a copy of the lock-manager counters.
@@ -232,6 +257,14 @@ func (m *Manager) commitTop(id tree.TID, tx *Tx, start time.Time) error {
 	apply := func() error {
 		m.rec.Record(event.Event{Kind: event.RequestCommit, T: id, Value: v})
 		m.met.Trace(event.RequestCommit.String(), string(id), "", 0)
+		// Publish the transaction's new root versions into the snapshot
+		// store before the lock manager releases its locks: strict
+		// locking then guarantees any conflicting successor publishes
+		// after us, so snapshot order = conflict order = WAL order.
+		if up := m.lm.TopVersions(id); len(up) > 0 {
+			m.snap.Publish(string(id), up)
+			m.met.ObserveSnapPublish()
+		}
 		m.lm.Commit(id, v)
 		return nil
 	}
@@ -277,9 +310,13 @@ func (m *Manager) SystemType() *event.SystemType {
 // its projection at every object must replay on the formal R/W Locking
 // object automaton M(X) — pinning the runtime lock manager to the
 // paper's pre/postconditions — and it must be serially correct for the
-// root and every non-orphan transaction (Theorem 34). It requires
-// [WithRecording] and should be called when no transactions are in
-// flight.
+// root and every non-orphan transaction (Theorem 34). When the run
+// performed read-only snapshot transactions, it additionally verifies
+// the publication log against the locking history and places each
+// snapshot transaction at its pin point in the serial order, proving
+// the combined history serially correct (or classifying the anomaly;
+// see [checker.CheckSnapshots]). It requires [WithRecording] and should
+// be called when no transactions are in flight.
 //
 // Verification cost grows with history size (roughly transactions ×
 // events): it is meant for tests and bounded validation runs, not for
@@ -301,6 +338,12 @@ func (m *Manager) Verify() error {
 		}
 	}
 	if err := checker.CheckAll(sched, st); err != nil {
+		return fmt.Errorf("nestedtx: %w", err)
+	}
+	m.snapMu.Lock()
+	snapTxs := append([]checker.SnapTx(nil), m.snapTxs...)
+	m.snapMu.Unlock()
+	if err := checker.CheckSnapshots(sched, st, m.snap.Log(), snapTxs); err != nil {
 		return fmt.Errorf("nestedtx: %w", err)
 	}
 	return nil

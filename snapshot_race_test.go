@@ -1,0 +1,128 @@
+package nestedtx
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSnapshotRaceBankConservation races RunReadOnly scans against
+// committing and aborting transfer writers. Every transfer moves money
+// between two accounts inside one transaction, so the total balance is
+// invariant; a snapshot that ever sums to anything else has observed a
+// torn cut, a tentative version, or an aborted write. Run under -race
+// this also hammers the store's publish/read/trim paths.
+func TestSnapshotRaceBankConservation(t *testing.T) {
+	const (
+		accounts = 8
+		initial  = int64(1000)
+		writers  = 4
+		readers  = 4
+		rounds   = 300
+	)
+	errAbort := errors.New("voluntary abort")
+	m := NewManager()
+	for i := 0; i < accounts; i++ {
+		m.MustRegister(fmt.Sprintf("acct%d", i), Account{Balance: initial})
+	}
+	total := int64(accounts) * initial
+
+	var wg sync.WaitGroup
+	var scans atomic.Int64
+	fail := make(chan string, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < rounds; i++ {
+				from := rng.Intn(accounts)
+				to := (from + 1 + rng.Intn(accounts-1)) % accounts
+				amt := int64(1 + rng.Intn(10))
+				abort := rng.Intn(4) == 0
+				err := m.RunRetry(10, func(tx *Tx) error {
+					res, err := tx.Write(fmt.Sprintf("acct%d", from), AcctWithdraw{Amount: amt})
+					if err != nil {
+						return err
+					}
+					if !res.(AcctResult).OK {
+						return errAbort
+					}
+					if _, err := tx.Write(fmt.Sprintf("acct%d", to), AcctDeposit{Amount: amt}); err != nil {
+						return err
+					}
+					if abort {
+						// Half-applied transfer rolled back: a snapshot
+						// must never see the withdraw without the deposit
+						// or either of an aborted pair.
+						return errAbort
+					}
+					return nil
+				})
+				if err != nil && !errors.Is(err, errAbort) && !errors.Is(err, ErrDeadlock) {
+					fail <- fmt.Sprintf("writer: %v", err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(1000 + seed))
+			for i := 0; i < rounds; i++ {
+				err := m.RunReadOnly(func(s *Snapshot) error {
+					var sum int64
+					// Scan in random order: conservation must hold
+					// regardless of visit order within one snapshot.
+					for _, j := range rng.Perm(accounts) {
+						v, err := s.Read(fmt.Sprintf("acct%d", j), AcctBalance{})
+						if err != nil {
+							return err
+						}
+						sum += v.(int64)
+					}
+					if sum != total {
+						return fmt.Errorf("snapshot at seq %d sums to %d, want %d", s.Seq(), sum, total)
+					}
+					scans.Add(1)
+					return nil
+				})
+				if err != nil {
+					fail <- fmt.Sprintf("reader: %v", err)
+					return
+				}
+			}
+		}(int64(r))
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Error(msg)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Final committed balances conserve too.
+	var sum int64
+	for i := 0; i < accounts; i++ {
+		st, err := m.State(fmt.Sprintf("acct%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += st.(Account).Balance
+	}
+	if sum != total {
+		t.Fatalf("final balances sum to %d, want %d", sum, total)
+	}
+	if scans.Load() == 0 {
+		t.Fatal("no snapshot scans completed")
+	}
+	if got := m.Metrics().Snapshot().SnapPinned; got != 0 {
+		t.Fatalf("%d pins leaked", got)
+	}
+}

@@ -1,0 +1,272 @@
+package nestedtx
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestStateNeverSeesUncommittedWrite is the STATE dirty-read regression
+// test: a writer holds a write lock on x with a tentative version, and a
+// concurrent State must answer the committed value. Before the fix,
+// Manager.State read lockmgr.CurrentState — the *least* write-lock
+// holder's version — and returned the uncommitted (and here eventually
+// aborted) write.
+func TestStateNeverSeesUncommittedWrite(t *testing.T) {
+	m := NewManager()
+	m.MustRegister("x", Counter{})
+	locked := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Run(func(tx *Tx) error {
+			if _, err := tx.Write("x", CtrAdd{Delta: 7}); err != nil {
+				return err
+			}
+			close(locked)
+			<-release
+			return errors.New("voluntary abort")
+		})
+	}()
+	<-locked
+	// The writer holds the write lock with tentative value 7.
+	st, err := m.State("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.(Counter).N; got != 0 {
+		t.Fatalf("State observed a live writer's uncommitted version: got %d, want 0", got)
+	}
+	close(release)
+	if err := <-done; err == nil {
+		t.Fatal("writer was supposed to abort")
+	}
+	// The write aborted: State must never have been able to observe it.
+	st, err = m.State("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.(Counter).N; got != 0 {
+		t.Fatalf("State observed an aborted write: got %d, want 0", got)
+	}
+	// A committed write, by contrast, must show up.
+	if err := m.Run(func(tx *Tx) error {
+		_, err := tx.Write("x", CtrAdd{Delta: 3})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, err = m.State("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.(Counter).N; got != 3 {
+		t.Fatalf("State after commit: got %d, want 3", got)
+	}
+}
+
+func TestStateUnregistered(t *testing.T) {
+	m := NewManager()
+	if _, err := m.State("nope"); err == nil {
+		t.Fatal("State of an unregistered object succeeded")
+	}
+}
+
+func TestRunReadOnlyPinsConsistentCut(t *testing.T) {
+	m := NewManager()
+	m.MustRegister("a", Counter{})
+	m.MustRegister("b", Counter{})
+	bump := func(delta int64) {
+		if err := m.Run(func(tx *Tx) error {
+			if _, err := tx.Write("a", CtrAdd{Delta: delta}); err != nil {
+				return err
+			}
+			_, err := tx.Write("b", CtrAdd{Delta: -delta})
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bump(10)
+	s := m.BeginSnapshot()
+	defer s.Close()
+	seq := s.Seq()
+	// Writers commit after the pin: the snapshot must not see them.
+	bump(5)
+	bump(7)
+	va, err := s.Read("a", CtrGet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := s.Read("b", CtrGet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va.(int64) != 10 || vb.(int64) != -10 {
+		t.Fatalf("snapshot at seq %d read a=%v b=%v, want 10/-10", seq, va, vb)
+	}
+	// Repeatable: a second read answers the same.
+	va2, _ := s.Read("a", CtrGet{})
+	if va2.(int64) != 10 {
+		t.Fatalf("snapshot read not repeatable: %v then %v", va, va2)
+	}
+	// A fresh snapshot sees the later commits.
+	err = m.RunReadOnly(func(s2 *Snapshot) error {
+		v, err := s2.Read("a", CtrGet{})
+		if err != nil {
+			return err
+		}
+		if v.(int64) != 22 {
+			return fmt.Errorf("fresh snapshot read a=%v, want 22", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotRejectsWritesAndClosedReads(t *testing.T) {
+	m := NewManager()
+	m.MustRegister("x", Counter{})
+	s := m.BeginSnapshot()
+	if _, err := s.Read("x", CtrAdd{Delta: 1}); err == nil {
+		t.Fatal("snapshot accepted a write operation")
+	}
+	if _, err := s.Read("nope", CtrGet{}); err == nil {
+		t.Fatal("snapshot read an unregistered object")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("Close is documented idempotent")
+	}
+	if _, err := s.Read("x", CtrGet{}); !errors.Is(err, ErrDone) {
+		t.Fatalf("read after Close: got %v, want ErrDone", err)
+	}
+}
+
+func TestSnapshotNeverSeesAbortedWriter(t *testing.T) {
+	m := NewManager()
+	m.MustRegister("x", Counter{})
+	locked := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Run(func(tx *Tx) error {
+			if _, err := tx.Write("x", CtrAdd{Delta: 99}); err != nil {
+				return err
+			}
+			close(locked)
+			<-release
+			return errors.New("abort")
+		})
+	}()
+	<-locked
+	err := m.RunReadOnly(func(s *Snapshot) error {
+		v, err := s.Read("x", CtrGet{})
+		if err != nil {
+			return err
+		}
+		if v.(int64) != 0 {
+			return fmt.Errorf("snapshot saw uncommitted write: %v", v)
+		}
+		return nil
+	})
+	close(release)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifyPlacesSnapshots runs a mixed locking/snapshot workload under
+// recording and requires Verify to accept the combined history — the S9
+// checker placing each snapshot transaction at its pin point.
+func TestVerifyPlacesSnapshots(t *testing.T) {
+	m := NewManager(WithRecording())
+	for i := 0; i < 4; i++ {
+		m.MustRegister(fmt.Sprintf("x%d", i), Counter{})
+	}
+	for round := 0; round < 20; round++ {
+		if err := m.Run(func(tx *Tx) error {
+			for i := 0; i < 4; i++ {
+				if _, err := tx.Write(fmt.Sprintf("x%d", i), CtrAdd{Delta: 1}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.RunReadOnly(func(s *Snapshot) error {
+			var first int64 = -1
+			for i := 0; i < 4; i++ {
+				v, err := s.Read(fmt.Sprintf("x%d", i), CtrGet{})
+				if err != nil {
+					return err
+				}
+				if first == -1 {
+					first = v.(int64)
+				} else if v.(int64) != first {
+					return fmt.Errorf("torn snapshot: x0=%d x%d=%d", first, i, v)
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify rejected a clean mixed history: %v", err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	met := m.Metrics().Snapshot()
+	if met.SnapTxs != 20 || met.SnapReads != 80 {
+		t.Fatalf("snapshot metrics: txs=%d reads=%d, want 20/80", met.SnapTxs, met.SnapReads)
+	}
+	if met.SnapPinned != 0 {
+		t.Fatalf("%d pins leaked", met.SnapPinned)
+	}
+	if met.SnapPublishes != 20 {
+		t.Fatalf("publishes=%d, want 20", met.SnapPublishes)
+	}
+}
+
+// TestSnapshotLateRegistration pins before an object exists; the read
+// must fail with a clear error rather than show a state from the future.
+func TestSnapshotLateRegistration(t *testing.T) {
+	m := NewManager()
+	m.MustRegister("x", Counter{})
+	s := m.BeginSnapshot()
+	defer s.Close()
+	// Advance the commit sequence past the pin, then register: the
+	// object's base version lands strictly above the pinned prefix.
+	if err := m.Run(func(tx *Tx) error {
+		_, err := tx.Write("x", CtrAdd{Delta: 1})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.MustRegister("late", Counter{N: 5})
+	if _, err := s.Read("late", CtrGet{}); err == nil || !strings.Contains(err.Error(), "no version") {
+		t.Fatalf("read of late-registered object: got %v, want no-version error", err)
+	}
+	err := m.RunReadOnly(func(s2 *Snapshot) error {
+		v, err := s2.Read("late", CtrGet{})
+		if err != nil {
+			return err
+		}
+		if v.(int64) != 5 {
+			return fmt.Errorf("late object read %v, want 5", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
