@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-short chaos crash repl fuzz fuzz-short metrics-smoke clean
+.PHONY: all build vet test race bench bench-short chaos crash repl sim sim-mine fuzz fuzz-short metrics-smoke clean
 
 all: build test
 
@@ -60,6 +60,24 @@ crash: vet
 repl: vet
 	$(GO) test -race ./internal/repl
 	$(GO) test -race -run 'TestReplica|TestPromote|TestControlledFailover|TestFollowerRestart' ./internal/server
+
+# Deterministic whole-system simulation: the dst unit tests (generator
+# properties + byte-identical-log determinism) under the race detector,
+# the checked-in seed corpus through txdst, and a cross-process
+# determinism check (two txdst invocations of the same seed must emit
+# identical event logs).
+sim: vet
+	$(GO) test -race ./internal/dst/...
+	$(GO) run -race ./cmd/txdst -corpus internal/dst/corpus.txt
+	$(GO) run ./cmd/txdst -scenario crash-bitrot-checkpoint -seed 1 -log > /tmp/dst-log-a.txt
+	$(GO) run ./cmd/txdst -scenario crash-bitrot-checkpoint -seed 1 -log > /tmp/dst-log-b.txt
+	cmp /tmp/dst-log-a.txt /tmp/dst-log-b.txt
+
+# Regenerate the seed corpus: two passing seeds per scenario, at the
+# scale the -race corpus replay can afford. Full-size cells run via
+# `txdst -scenario <name>` directly (see EXPERIMENTS.md E18).
+sim-mine:
+	$(GO) run ./cmd/txdst -mine 2 -scale 0.25 > internal/dst/corpus.txt
 
 fuzz:
 	$(GO) test -fuzz FuzzTheorem34 -fuzztime 30s ./internal/checker

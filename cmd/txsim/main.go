@@ -2,7 +2,9 @@
 // EXPERIMENTS.md against the nestedtx runtime and prints their tables —
 // or, with -json, one machine-readable JSON object per experiment row
 // (newline-delimited), for tracking the performance trajectory across
-// revisions.
+// revisions. Every run ends with the lock-table invariant check; any
+// checker or invariant failure exits nonzero and prints the
+// reproducing invocation (experiment, seed and flags) on one line.
 //
 // Usage:
 //
@@ -30,6 +32,16 @@ func main() {
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 
+	// fail reports a checker/invariant/runtime failure with a one-line
+	// reproduction (the experiment plus every flag that shapes it) and
+	// exits nonzero.
+	fail := func(name string, err error) {
+		fmt.Fprintln(os.Stderr, "txsim:", err)
+		fmt.Fprintf(os.Stderr, "reproduce: txsim -exp %s -seed %d -shards %d -readonly-frac %g\n",
+			name, *seed, *shards, *roFrac)
+		os.Exit(1)
+	}
+
 	// emit renders one experiment's points as a table or as JSON rows.
 	emit := func(name, title string, points []sim.SweepPoint) {
 		if *asJSON {
@@ -42,27 +54,37 @@ func main() {
 
 	if run("e3") {
 		points, err := sim.ReadFractionSweep(*seed, []float64{0, 0.25, 0.5, 0.75, 0.9, 1.0})
-		check(err)
+		if err != nil {
+			fail("e3", err)
+		}
 		emit("e3", "E3: read-fraction sweep (R/W vs exclusive vs serial)", points)
 	}
 	if run("e4") {
 		points, err := sim.DepthSweep(*seed, 4)
-		check(err)
+		if err != nil {
+			fail("e4", err)
+		}
 		emit("e4", "E4: nesting-depth sweep (concurrent siblings vs serial)", points)
 	}
 	if run("e5") {
 		points, err := sim.AbortSweep(*seed, []float64{0, 0.1, 0.25, 0.5})
-		check(err)
+		if err != nil {
+			fail("e5", err)
+		}
 		emit("e5", "E5: abort-rate sweep (recovery under load)", points)
 	}
 	if run("e7") {
 		points, err := sim.InheritanceSweep(*seed, []int{0, 1, 2, 4, 6})
-		check(err)
+		if err != nil {
+			fail("e7", err)
+		}
 		emit("e7", "E7: lock-inheritance chain depth (same work, deeper commits)", points)
 	}
 	if run("e9") {
 		points, err := sim.EngineSweep(*seed, []float64{0, 0.25, 0.5, 0.75, 0.9, 1.0})
-		check(err)
+		if err != nil {
+			fail("e9", err)
+		}
 		if *asJSON {
 			check(sim.WriteEngineJSON(os.Stdout, "e9", points))
 		} else {

@@ -75,12 +75,12 @@ func (m *Manager) RunRetryCtx(ctx context.Context, attempts int, fn func(*Tx) er
 		if i+1 == attempts {
 			break
 		}
-		t := time.NewTimer(backoffDur(i))
+		t := m.clk.NewTimer(backoffDur(i))
 		select {
 		case <-ctx.Done():
 			t.Stop()
 			return joinErrs(ctx.Err(), err)
-		case <-t.C:
+		case <-t.C():
 		}
 	}
 	return err

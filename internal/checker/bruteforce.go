@@ -58,9 +58,10 @@ func BruteForce(alpha event.Schedule, st *event.SystemType, t tree.TID, budget i
 		}
 		streams[i] = append(streams[i], e)
 	}
-	// Per-object write order (the write-equality constraint).
+	// Per-object write order (the write-equality constraint), over the
+	// objects vis actually touches.
 	writeOrder := make(map[string][]event.Event)
-	for _, x := range st.Objects() {
+	for _, x := range vis.TouchedObjects(st) {
 		writeOrder[x] = vis.AtObject(st, x).Write(st)
 	}
 
@@ -137,7 +138,7 @@ func BruteForce(alpha event.Schedule, st *event.SystemType, t tree.TID, budget i
 
 	sc := serial.NewScheduler()
 	objs := make(map[string]*object.Basic, len(writeOrder))
-	for _, x := range st.Objects() {
+	for _, x := range vis.TouchedObjects(st) {
 		b, err := object.New(st, x)
 		if err != nil {
 			return false, nil, true, err

@@ -139,6 +139,9 @@ type constructor struct {
 	// children[P] lists the children of P mentioned in vis, in first-
 	// appearance order.
 	children map[tree.TID][]tree.TID
+	// perObject indexes the REQUEST_COMMIT access events of vis by
+	// object, in vis order — shared by every childOrder call.
+	perObject map[string][]event.Event
 }
 
 func (c *constructor) analyze() {
@@ -147,6 +150,15 @@ func (c *constructor) analyze() {
 	c.returnPos = make(map[tree.TID]int)
 	c.fibers = make(map[tree.TID]event.Schedule)
 	c.children = make(map[tree.TID][]tree.TID)
+	c.perObject = make(map[string][]event.Event)
+	for _, e := range c.vis {
+		if e.Kind != event.RequestCommit {
+			continue
+		}
+		if a, ok := c.st.AccessInfo(e.T); ok {
+			c.perObject[a.Object] = append(c.perObject[a.Object], e)
+		}
+	}
 	for i, e := range c.alpha {
 		if e.Kind == event.Commit || e.Kind == event.Abort {
 			if _, ok := c.returnPos[e.T]; !ok {
@@ -311,16 +323,10 @@ func (c *constructor) childOrder(p tree.TID, rng *rand.Rand) ([]tree.TID, error)
 	// Linear edge construction: chaining each access to the previous write
 	// and each write to the reads since then has the same transitive
 	// closure as the all-pairs constraint set (read-read pairs impose
-	// nothing), without the quadratic blowup on long schedules.
-	perObject := make(map[string][]event.Event)
-	for _, e := range c.vis {
-		if e.Kind != event.RequestCommit {
-			continue
-		}
-		if a, ok := c.st.AccessInfo(e.T); ok {
-			perObject[a.Object] = append(perObject[a.Object], e)
-		}
-	}
+	// nothing), without the quadratic blowup on long schedules. The
+	// per-object access index is built once per Check (analyze), not per
+	// interior transaction.
+	perObject := c.perObject
 	govern := func(u tree.TID) (tree.TID, bool) {
 		if p.IsProperAncestorOf(u) {
 			return p.ChildToward(u), true

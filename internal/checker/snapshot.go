@@ -163,12 +163,26 @@ func CheckSnapshots(alpha event.Schedule, st *event.SystemType, pubs []snap.PubE
 
 	// Replay the committed-to-root write accesses of each object, in
 	// alpha order, grouped into runs per top-level transaction, and
-	// reconcile the runs against the publications.
+	// reconcile the runs against the publications. Only objects with
+	// events or publications need replaying — for any other object both
+	// sides are empty.
+	relevant := make(map[string]struct{})
+	for _, x := range alpha.TouchedObjects(st) {
+		relevant[x] = struct{}{}
+	}
+	for x := range pubsAt {
+		relevant[x] = struct{}{}
+	}
+	objs := make([]string, 0, len(relevant))
+	for x := range relevant {
+		objs = append(objs, x)
+	}
+	sort.Strings(objs)
 	type run struct {
 		top   string
 		state adt.State
 	}
-	for _, x := range st.Objects() {
+	for _, x := range objs {
 		initial, _ := st.ObjectInitial(x)
 		state := initial
 		var runs []run

@@ -1,0 +1,319 @@
+// Package clock abstracts time for the deterministic simulator.
+//
+// Every sleep, timeout and backoff in the runtime that can influence a
+// schedule routes through a [Clock]: production code uses [Real] (the
+// wall clock, zero overhead beyond an interface call), while the
+// whole-system simulator (internal/dst) substitutes a [Virtual] clock —
+// event-queue time, where sleepers park on a deadline heap and time
+// jumps from deadline to deadline instead of passing. Two consequences:
+// a seeded simulation run no longer depends on wall-clock scheduling
+// accidents (a 100ms backoff is a number, not a real delay), and
+// simulated runs are much faster than real time.
+//
+// The package sits at the bottom of the dependency graph (stdlib only)
+// so the root nestedtx package, internal/sim, internal/faultnet,
+// internal/wal, internal/repl and internal/server can all accept an
+// injected Clock without import cycles.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the time source the runtime's sleeps and timeouts draw from.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Since returns Now().Sub(t).
+	Since(t time.Time) time.Duration
+	// After returns a channel that delivers the clock's time once d has
+	// elapsed. d <= 0 fires immediately.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks for d; d <= 0 returns immediately. On a Virtual clock
+	// the block ends when virtual time reaches the deadline, regardless
+	// of wall time.
+	Sleep(d time.Duration)
+	// NewTimer returns a stoppable timer that fires once after d.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is a stoppable single-shot timer (the subset of *time.Timer the
+// runtime needs, so a Virtual clock can provide its own).
+type Timer interface {
+	// C returns the channel the firing is delivered on.
+	C() <-chan time.Time
+	// Stop cancels the timer; it reports whether the firing was averted.
+	Stop() bool
+}
+
+// Or returns c, or the real clock when c is nil — the idiom for
+// "injected clock, defaulting to production time".
+func Or(c Clock) Clock {
+	if c == nil {
+		return Real{}
+	}
+	return c
+}
+
+// ---- real clock ----
+
+// Real is the production clock: the wall clock, delegating to the time
+// package.
+type Real struct{}
+
+func (Real) Now() time.Time                         { return time.Now() }
+func (Real) Since(t time.Time) time.Duration        { return time.Since(t) }
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (Real) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (Real) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) C() <-chan time.Time { return t.t.C }
+func (t realTimer) Stop() bool          { return t.t.Stop() }
+
+// ---- virtual clock ----
+
+// Virtual is event-queue time: sleepers park on a min-heap of absolute
+// deadlines, and time advances only by [Virtual.Advance] jumps — either
+// explicit ones from a test, or the auto-advance loop a simulation runs
+// ([Virtual.AutoAdvance]), which repeatedly jumps to the earliest parked
+// deadline whenever the system has sleepers but no wall-clock progress.
+// Virtual timestamps delivered to sleepers are therefore functions of
+// the requested durations alone, never of wall-time scheduling.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+	stop    chan struct{}
+	stopped bool
+	wakes   uint64 // total waiters fired; monotone
+}
+
+// NewVirtual returns a Virtual clock starting at start (a fixed epoch
+// keeps simulated timestamps reproducible; the zero time is replaced by
+// a fixed non-zero epoch so durations stay positive).
+func NewVirtual(start time.Time) *Virtual {
+	if start.IsZero() {
+		start = time.Unix(1_000_000_000, 0) // 2001-09-09, arbitrary fixed epoch
+	}
+	return &Virtual{now: start, stop: make(chan struct{})}
+}
+
+type vwaiter struct {
+	deadline time.Time
+	ch       chan time.Time
+	index    int
+	stopped  bool
+}
+
+type waiterHeap []*vwaiter
+
+func (h waiterHeap) Len() int           { return len(h) }
+func (h waiterHeap) Less(i, j int) bool { return h[i].deadline.Before(h[j].deadline) }
+func (h waiterHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *waiterHeap) Push(x any) {
+	w := x.(*vwaiter)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Since returns the virtual time elapsed since t.
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// After returns a channel delivering the virtual timestamp once virtual
+// time reaches now+d. d <= 0 fires immediately.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	_, ch := v.addWaiter(d)
+	return ch
+}
+
+func (v *Virtual) addWaiter(d time.Duration) (*vwaiter, chan time.Time) {
+	ch := make(chan time.Time, 1)
+	v.mu.Lock()
+	w := &vwaiter{deadline: v.now.Add(d), ch: ch, index: -1}
+	if d <= 0 || v.stopped {
+		now := v.now
+		v.mu.Unlock()
+		ch <- now
+		return w, ch
+	}
+	heap.Push(&v.waiters, w)
+	v.mu.Unlock()
+	return w, ch
+}
+
+// Sleep blocks until virtual time reaches now+d (or the clock is
+// stopped, which releases every sleeper — a simulation teardown must
+// not leave goroutines parked forever).
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	_, ch := v.addWaiter(d)
+	select {
+	case <-ch:
+	case <-v.stop:
+	}
+}
+
+// NewTimer returns a timer firing once virtual time reaches now+d.
+func (v *Virtual) NewTimer(d time.Duration) Timer {
+	w, ch := v.addWaiter(d)
+	return &virtTimer{v: v, w: w, ch: ch}
+}
+
+type virtTimer struct {
+	v  *Virtual
+	w  *vwaiter
+	ch chan time.Time
+}
+
+func (t *virtTimer) C() <-chan time.Time { return t.ch }
+
+func (t *virtTimer) Stop() bool {
+	t.v.mu.Lock()
+	defer t.v.mu.Unlock()
+	if t.w.stopped || t.w.index < 0 {
+		return false
+	}
+	t.w.stopped = true
+	if t.w.index < len(t.v.waiters) {
+		heap.Remove(&t.v.waiters, t.w.index)
+	}
+	t.w.index = -1
+	return true
+}
+
+// Pending returns the number of parked sleepers.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.waiters)
+}
+
+// Wakes returns the total number of waiters fired so far (monotone); the
+// auto-advance loop uses it to detect quiescence.
+func (v *Virtual) Wakes() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.wakes
+}
+
+// Advance moves virtual time forward by d, firing every waiter whose
+// deadline is reached, and returns how many fired.
+func (v *Virtual) Advance(d time.Duration) int {
+	v.mu.Lock()
+	target := v.now.Add(d)
+	return v.advanceToLocked(target)
+}
+
+// AdvanceToNext jumps virtual time to the earliest parked deadline and
+// fires everything due there. It returns the number of waiters fired (0
+// when nothing is parked).
+func (v *Virtual) AdvanceToNext() int {
+	v.mu.Lock()
+	if len(v.waiters) == 0 {
+		v.mu.Unlock()
+		return 0
+	}
+	target := v.waiters[0].deadline
+	if target.Before(v.now) {
+		target = v.now
+	}
+	return v.advanceToLocked(target)
+}
+
+// advanceToLocked advances to target and fires due waiters. Called with
+// mu held; releases it.
+func (v *Virtual) advanceToLocked(target time.Time) int {
+	if target.After(v.now) {
+		v.now = target
+	}
+	var due []*vwaiter
+	for len(v.waiters) > 0 && !v.waiters[0].deadline.After(v.now) {
+		w := heap.Pop(&v.waiters).(*vwaiter)
+		w.index = -1
+		due = append(due, w)
+	}
+	now := v.now
+	v.wakes += uint64(len(due))
+	v.mu.Unlock()
+	for _, w := range due {
+		w.ch <- now // cap-1 channel: never blocks
+	}
+	return len(due)
+}
+
+// AutoAdvance starts the simulation's time driver: a background loop
+// that polls every (real) grain and, when sleepers are parked, jumps
+// virtual time to the earliest deadline. The real grain only controls
+// how promptly virtual time advances — the virtual timestamps assigned
+// are the deadlines themselves, so they are independent of wall-clock
+// scheduling. Call Stop to end the loop and release all sleepers.
+func (v *Virtual) AutoAdvance(grain time.Duration) {
+	if grain <= 0 {
+		grain = 100 * time.Microsecond
+	}
+	go func() {
+		for {
+			select {
+			case <-v.stop:
+				return
+			default:
+			}
+			time.Sleep(grain)
+			v.AdvanceToNext()
+		}
+	}()
+}
+
+// Stop ends auto-advance and releases every current and future sleeper
+// immediately (their channels fire at the current virtual time). Safe to
+// call more than once.
+func (v *Virtual) Stop() {
+	v.mu.Lock()
+	if v.stopped {
+		v.mu.Unlock()
+		return
+	}
+	v.stopped = true
+	close(v.stop)
+	var due []*vwaiter
+	for len(v.waiters) > 0 {
+		w := heap.Pop(&v.waiters).(*vwaiter)
+		w.index = -1
+		due = append(due, w)
+	}
+	now := v.now
+	v.wakes += uint64(len(due))
+	v.mu.Unlock()
+	for _, w := range due {
+		w.ch <- now
+	}
+}

@@ -1,0 +1,310 @@
+package dst
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nestedtx"
+	"nestedtx/client"
+	"nestedtx/internal/adt"
+	"nestedtx/internal/faultnet"
+	"nestedtx/internal/repl"
+	"nestedtx/internal/server"
+	"nestedtx/internal/wal"
+)
+
+// runNet is the replicated environment: a durable leader served over
+// TCP, a follower streaming the leader's WAL through a faultnet proxy,
+// a client pool driving the planned workload, partitions on the
+// replication link at planned virtual times, then leader death,
+// bit rot (when planned), verified promotion and a post-promotion
+// phase against the new leader.
+//
+// Injected latency, group-commit windows and every retry backoff run
+// on the virtual clock; the server's watchdog request timers stay on
+// the wall clock (a watchdog firing because simulated time jumped
+// would inject timeouts the plan never asked for).
+func runNet(env *simEnv, plan *Plan, faults *faultPlan, res *Result) error {
+	scn := env.scn
+	mem := wal.NewMemFS()
+
+	// Leader: durable manager + server (the server attaches a shipper to
+	// any durable manager).
+	mgr, _, err := nestedtx.OpenDurable("leader", nestedtx.DurableOptions{
+		FS:           mem,
+		SyncWindow:   faults.SyncWindow,
+		SegmentBytes: faults.SegmentBytes,
+		Clock:        env.clk,
+	}, nestedtx.WithClock(env.clk))
+	if err != nil {
+		return fmt.Errorf("dst: open leader: %w", err)
+	}
+	if err := mgr.Register("ctr", adt.Counter{}); err != nil {
+		return fmt.Errorf("dst: register ctr: %w", err)
+	}
+	if err := registerUniverse(mgr, scn); err != nil {
+		return fmt.Errorf("dst: register: %w", err)
+	}
+	leaderSrv := server.New(mgr, server.Config{})
+	leaderLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("dst: listen: %w", err)
+	}
+	go leaderSrv.Serve(leaderLn)
+	leaderAddr := leaderLn.Addr().String()
+
+	// Replication link through the fault proxy: partitions planned at
+	// virtual times sever it; the follower's reconnect backoff parks on
+	// the virtual clock too.
+	proxy, err := faultnet.NewWithClock(leaderAddr, faultnet.Faults{
+		Latency: scn.NetLatency,
+		Jitter:  scn.NetJitter,
+	}, faults.NetSeed, env.clk)
+	if err != nil {
+		return fmt.Errorf("dst: proxy: %w", err)
+	}
+	defer proxy.Close()
+
+	f, err := repl.OpenFollower("follower", wal.Options{FS: mem, Clock: env.clk})
+	if err != nil {
+		return fmt.Errorf("dst: open follower: %w", err)
+	}
+	fsrv := server.New(nil, server.Config{Follower: f})
+	fLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("dst: follower listen: %w", err)
+	}
+	go fsrv.Serve(fLn)
+	go f.Run(proxy.Addr())
+	followerAddr := fLn.Addr().String()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = fsrv.Shutdown(ctx)
+	}()
+
+	wait := driveFaults(env, faults, faultActions{
+		Checkpoint: func() { _ = mgr.Checkpoint() },
+		Partition:  proxy.Partition,
+		Heal:       proxy.Heal,
+	})
+
+	pool, err := client.NewPool(leaderAddr, scn.Workers, client.WithTimeout(20*time.Second))
+	if err != nil {
+		return fmt.Errorf("dst: pool: %w", err)
+	}
+	st, werr := runNetSpecs(env, pool, plan.Specs)
+	res.Stats = st
+	wait()
+	proxy.Heal() // the driver always ran the full schedule; make sure we end healed
+	if werr != nil {
+		pool.Close()
+		return werr
+	}
+
+	// Drain: the follower must catch up to the leader's durable log.
+	if err := waitFor(30*time.Second, func() bool {
+		ws, ok := mgr.WalStats()
+		return ok && f.Status().NextLSN == ws.DurableLSN
+	}); err != nil {
+		pool.Close()
+		return fmt.Errorf("dst: follower never caught up: %w", err)
+	}
+	leaderCtr, err := counterState(mgr.State("ctr"))
+	if err != nil {
+		pool.Close()
+		return err
+	}
+	if leaderCtr < st.Writes {
+		pool.Close()
+		return fmt.Errorf("dst: leader lost commits: ctr %d < %d acknowledged", leaderCtr, st.Writes)
+	}
+	if err := waitFor(15*time.Second, func() bool {
+		fs, err := f.State("ctr")
+		return err == nil && fs.(adt.Counter).N == leaderCtr
+	}); err != nil {
+		pool.Close()
+		return fmt.Errorf("dst: follower state never converged to ctr=%d: %w", leaderCtr, err)
+	}
+	pool.Close()
+
+	// Leader dies (its durable log is the artifact it leaves behind).
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err = leaderSrv.Shutdown(ctx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("dst: leader shutdown: %w", err)
+	}
+
+	// Planned disk rot on the replica's own log, then promotion —
+	// which re-runs recovery and Recovery.Verify on the (possibly
+	// truncated) surviving prefix before serving writes.
+	if scn.BitRot {
+		applyBitRot(mem, "follower", faults)
+	}
+	fc, err := client.Dial(followerAddr, client.WithTimeout(20*time.Second))
+	if err != nil {
+		return fmt.Errorf("dst: dial follower: %w", err)
+	}
+	if err := fc.Promote(); err != nil {
+		fc.Close()
+		return fmt.Errorf("dst: promote: %w", err)
+	}
+	promoted, err := fc.State("ctr")
+	fc.Close()
+	switch {
+	case err != nil && scn.BitRot:
+		// Rot can truncate arbitrarily far back, even past ctr's
+		// registration; the promotion verdict above already proved the
+		// surviving prefix. Nothing further to drive.
+	case err != nil:
+		return fmt.Errorf("dst: promoted state: %w", err)
+	case !scn.BitRot && promoted.(nestedtx.Counter).N != leaderCtr:
+		return fmt.Errorf("dst: promoted ctr %d != leader ctr %d", promoted.(nestedtx.Counter).N, leaderCtr)
+	case scn.BitRot && promoted.(nestedtx.Counter).N > leaderCtr:
+		return fmt.Errorf("dst: promoted ctr %d exceeds leader ctr %d", promoted.(nestedtx.Counter).N, leaderCtr)
+	default:
+		// Post-promotion phase: the planned post specs run against the
+		// new leader.
+		pool2, err := client.NewPool(followerAddr, scn.Workers, client.WithTimeout(20*time.Second))
+		if err != nil {
+			return fmt.Errorf("dst: post-promotion pool: %w", err)
+		}
+		post, perr := runNetSpecs(env, pool2, plan.Post)
+		pool2.Close()
+		res.Post = post
+		if perr != nil {
+			return perr
+		}
+		if !scn.BitRot && len(plan.Post) > 0 && post.Committed+post.Scans == 0 {
+			return fmt.Errorf("dst: promoted leader accepted none of %d post transactions", len(plan.Post))
+		}
+	}
+
+	// Final verdict on the promoted node's log: shut its server down and
+	// machine-check the full inherited-plus-new history from the bytes.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	err = fsrv.Shutdown(ctx2)
+	cancel2()
+	if err != nil {
+		return fmt.Errorf("dst: promoted shutdown: %w", err)
+	}
+	rec, err := wal.Inspect("follower", mem)
+	if err != nil {
+		return fmt.Errorf("dst: inspect promoted log: %w", err)
+	}
+	if err := rec.Verify(); err != nil {
+		return fmt.Errorf("dst: promoted history rejected: %w", err)
+	}
+	return nil
+}
+
+func counterState(st nestedtx.State, err error) (int64, error) {
+	if err != nil {
+		return 0, fmt.Errorf("dst: leader state: %w", err)
+	}
+	return st.(adt.Counter).N, nil
+}
+
+// runNetSpecs drives planned specs through a client pool. Write specs
+// bump the shared counter (the acked set the failover assertions track)
+// and touch planned objects, optionally one subtransaction deep; scan
+// specs run remote read-only snapshots.
+func runNetSpecs(env *simEnv, pool *client.Pool, specs []TxSpec) (execStats, error) {
+	var st execStats
+	var wg sync.WaitGroup
+	jobs := make(chan TxSpec)
+	for w := 0; w < env.scn.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for spec := range jobs {
+				runNetSpec(env, pool, spec, &st)
+				if env.scn.ThinkMax > 0 {
+					env.clk.Sleep(time.Duration(spec.Seed % int64(env.scn.ThinkMax)))
+				}
+			}
+		}()
+	}
+	for _, s := range specs {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+	return st, nil
+}
+
+func runNetSpec(env *simEnv, pool *client.Pool, spec TxSpec, st *execStats) {
+	rng := newSpecRNG(spec.Seed)
+	scn := env.scn
+	if spec.Kind == KScan {
+		c, err := pool.Get()
+		if err != nil {
+			atomic.AddInt64(&st.Aborted, 1)
+			return
+		}
+		err = c.RunReadOnly(func(s *client.Snapshot) error {
+			if _, err := s.Read("ctr", adt.CtrGet{}); err != nil {
+				return err
+			}
+			for i := 0; i < spec.Ops; i++ {
+				if _, err := s.Read(objName(rng.Intn(max(1, scn.Objects))), adt.CtrGet{}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		pool.Put(c)
+		if err != nil {
+			atomic.AddInt64(&st.Aborted, 1)
+			return
+		}
+		atomic.AddInt64(&st.Scans, 1)
+		return
+	}
+	pick := objectPicker(rng, scn, spec)
+	err := pool.RunRetry(scn.Retries, func(t *client.Tx) error {
+		if _, err := t.Write("ctr", adt.CtrAdd{Delta: 1}); err != nil {
+			return err
+		}
+		for i := 0; i < min(spec.Ops, 2); i++ {
+			if _, err := t.Write(pick(), adt.CtrAdd{Delta: 1}); err != nil {
+				return err
+			}
+		}
+		if spec.Depth > 1 {
+			if err := t.Sub(func(s *client.Tx) error {
+				_, err := s.Read(pick(), adt.CtrGet{})
+				return err
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	countOutcome(st, err, true)
+}
+
+// waitFor polls cond on the wall clock — the verification drain is not
+// part of the simulated history.
+func waitFor(limit time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(limit)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("timed out after %s", limit)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,169 @@
+package dst
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestZipfSkew: the zipfian object picker must actually skew — the
+// hottest object takes a large multiple of the uniform share, and a
+// small head of the universe absorbs most accesses.
+func TestZipfSkew(t *testing.T) {
+	scn, ok := Lookup("hotspot")
+	if !ok {
+		t.Fatal("hotspot scenario missing")
+	}
+	rng := rand.New(rand.NewSource(42))
+	pick := objectPicker(rng, &scn, TxSpec{Kind: KZipf})
+	const draws = 100000
+	counts := make(map[string]int)
+	for i := 0; i < draws; i++ {
+		counts[pick()]++
+	}
+	uniform := float64(draws) / float64(scn.Objects)
+	hottest := counts[objName(0)]
+	if float64(hottest) < 4*uniform {
+		t.Fatalf("zipf s=%.2f: hottest object got %d of %d draws, want > 4x the uniform share %.0f",
+			scn.ZipfS, hottest, draws, uniform)
+	}
+	head := 0
+	for i := 0; i < 8; i++ {
+		head += counts[objName(i)]
+	}
+	if float64(head) < 0.5*draws {
+		t.Fatalf("zipf head too flat: top 8 of %d objects got %d/%d draws, want >= 50%%",
+			scn.Objects, head, draws)
+	}
+}
+
+// TestUniformPickerCoversUniverse: with no skew every object should see
+// roughly its share.
+func TestUniformPickerCoversUniverse(t *testing.T) {
+	scn := Scenario{Objects: 16}
+	rng := rand.New(rand.NewSource(7))
+	pick := objectPicker(rng, &scn, TxSpec{Kind: KTree})
+	const draws = 32000
+	counts := make(map[string]int)
+	for i := 0; i < draws; i++ {
+		counts[pick()]++
+	}
+	want := draws / scn.Objects
+	for i := 0; i < scn.Objects; i++ {
+		got := counts[objName(i)]
+		if got < want/2 || got > want*2 {
+			t.Fatalf("uniform picker: obj%d got %d draws, want about %d", i, got, want)
+		}
+	}
+}
+
+// TestNestingDepthHistogram: the deep-nesting generator must reach the
+// configured maximum depth and never plan shallow trees.
+func TestNestingDepthHistogram(t *testing.T) {
+	scn, ok := Lookup("deep-nesting")
+	if !ok {
+		t.Fatal("deep-nesting scenario missing")
+	}
+	rng := rand.New(rand.NewSource(3))
+	hist := make(map[int]int)
+	for i := 0; i < 2000; i++ {
+		s := Generators[KNest].Gen(rng, &scn)
+		hist[s.Depth]++
+	}
+	if hist[scn.MaxDepth] == 0 {
+		t.Fatalf("no generated tree reaches MaxDepth=%d; histogram %v", scn.MaxDepth, hist)
+	}
+	lo := scn.MaxDepth * 3 / 4
+	for d, n := range hist {
+		if d < lo || d > scn.MaxDepth {
+			t.Fatalf("depth %d (x%d) outside [%d,%d]; histogram %v", d, n, lo, scn.MaxDepth, hist)
+		}
+	}
+	if scn.MaxDepth < 10 {
+		t.Fatalf("deep-nesting MaxDepth=%d, issue requires 10+ levels", scn.MaxDepth)
+	}
+}
+
+// TestBankGenerator: transfers must have distinct in-range endpoints and
+// positive amounts — the preconditions of the conservation invariant.
+func TestBankGenerator(t *testing.T) {
+	scn, ok := Lookup("bank")
+	if !ok {
+		t.Fatal("bank scenario missing")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		s := Generators[KBank].Gen(rng, &scn)
+		if s.From == s.To {
+			t.Fatalf("transfer %d: From == To == %d", i, s.From)
+		}
+		if s.From < 0 || s.From >= scn.Accounts || s.To < 0 || s.To >= scn.Accounts {
+			t.Fatalf("transfer %d: endpoints %d->%d outside [0,%d)", i, s.From, s.To, scn.Accounts)
+		}
+		if s.Amount <= 0 {
+			t.Fatalf("transfer %d: non-positive amount %d", i, s.Amount)
+		}
+	}
+}
+
+// TestPlanDeterministicAndMixed: same seed, same plan (digest equality);
+// the drawn kind counts follow the scenario mix; different seeds
+// diverge.
+func TestPlanDeterministicAndMixed(t *testing.T) {
+	for _, scn := range Scenarios() {
+		scn := scn
+		p1 := buildPlan(&scn, rand.New(rand.NewSource(5)))
+		p2 := buildPlan(&scn, rand.New(rand.NewSource(5)))
+		if p1.Digest != p2.Digest {
+			t.Fatalf("%s: same seed, different plans: %016x vs %016x", scn.Name, p1.Digest, p2.Digest)
+		}
+		p3 := buildPlan(&scn, rand.New(rand.NewSource(6)))
+		if p1.Digest == p3.Digest {
+			t.Fatalf("%s: different seeds produced identical plans", scn.Name)
+		}
+		total := 0
+		for _, n := range p1.Kinds {
+			total += n
+		}
+		if total != scn.Txs {
+			t.Fatalf("%s: kind counts sum to %d, want %d", scn.Name, total, scn.Txs)
+		}
+		check := func(kind SpecKind, pct int) {
+			got := float64(p1.Kinds[kind]) / float64(scn.Txs) * 100
+			want := float64(pct)
+			if want == 0 {
+				if got != 0 {
+					t.Fatalf("%s: mix excludes %v but plan has %d", scn.Name, kind, p1.Kinds[kind])
+				}
+				return
+			}
+			if got < want-15 || got > want+15 {
+				t.Fatalf("%s: kind %v is %.0f%% of the plan, mix says %d%%", scn.Name, kind, got, pct)
+			}
+		}
+		check(KZipf, scn.Mix.Zipf)
+		check(KNest, scn.Mix.Nest)
+		check(KTree, scn.Mix.Tree)
+		check(KScan, scn.Mix.Scan)
+		check(KBank, scn.Mix.Bank)
+	}
+}
+
+// TestScenarioMatrixValid: every checked-in scenario validates and is
+// findable by name.
+func TestScenarioMatrixValid(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("matrix has %d scenarios, issue requires >= 5", len(names))
+	}
+	for _, scn := range Scenarios() {
+		if err := scn.validate(); err != nil {
+			t.Errorf("%s: %v", scn.Name, err)
+		}
+		if _, ok := Lookup(scn.Name); !ok {
+			t.Errorf("%s: Lookup cannot find it", scn.Name)
+		}
+	}
+	if _, ok := Lookup("no-such-scenario"); ok {
+		t.Error("Lookup invented a scenario")
+	}
+}

@@ -16,6 +16,7 @@ package event
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"nestedtx/internal/adt"
@@ -325,6 +326,34 @@ func (s Schedule) AtLockObject(st *SystemType, x string) Schedule {
 	})
 }
 
+// TouchedObjects returns the sorted names of the objects s has
+// operations at: the objects of its access events plus the targets of
+// its INFORM events. Checkers iterate touched objects instead of the
+// declared universe — a projection at an untouched object is empty,
+// hence trivially well-formed, write-equal and replayable — so checking
+// cost scales with the schedule's footprint, not with how many objects
+// a run registered (the simulator registers 2^20 accounts and touches a
+// few thousand).
+func (s Schedule) TouchedObjects(st *SystemType) []string {
+	seen := make(map[string]struct{})
+	for _, e := range s {
+		switch e.Kind {
+		case InformCommitAt, InformAbortAt:
+			seen[e.Object] = struct{}{}
+		default:
+			if a, ok := st.accesses[e.T]; ok {
+				seen[a.Object] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // CommittedTo reports whether t is committed to ancestor anc in s:
 // COMMIT(U) occurs for every U that is an ancestor of t and a proper
 // descendant of anc (§3.4). Every transaction is trivially committed to
@@ -451,26 +480,60 @@ func WriteEquivalent(st *SystemType, s, u Schedule) bool {
 	if !sameMultiset(s, u) {
 		return false
 	}
-	// Transaction projections must agree. The transactions with events are
-	// exactly {transaction(π)}; compare those projections.
-	txs := make(map[tree.TID]struct{})
-	for _, e := range s {
-		if t, ok := TransactionOf(e); ok {
-			txs[t] = struct{}{}
-		}
-	}
-	for t := range txs {
-		if !s.AtTransaction(t).Equal(u.AtTransaction(t)) {
+	// Group each schedule once: operations by owning transaction
+	// automaton (the AtTransaction projection) and write accesses by
+	// object (the AtObject∘Write projection). Comparing the groups is
+	// semantically the per-transaction / per-object projection check,
+	// but linear in the schedule instead of (transactions + objects) ×
+	// |schedule| — WriteEquivalent runs once per Check candidate, which
+	// made the quadratic form the checker's hot spot on large histories.
+	// A transaction or object grouped in one schedule but not the other
+	// compares against the empty projection, exactly as Filter would.
+	sTx, sObj := projections(st, s)
+	uTx, uObj := projections(st, u)
+	for t, p := range sTx {
+		if !p.Equal(uTx[t]) {
 			return false
 		}
 	}
-	// Write-equality per object.
-	for _, x := range st.Objects() {
-		if !s.AtObject(st, x).Write(st).Equal(u.AtObject(st, x).Write(st)) {
+	for t := range uTx {
+		if _, ok := sTx[t]; !ok {
+			return false
+		}
+	}
+	for x, w := range sObj {
+		if !w.Equal(uObj[x]) {
+			return false
+		}
+	}
+	for x := range uObj {
+		if _, ok := sObj[x]; !ok {
 			return false
 		}
 	}
 	return true
+}
+
+// projections groups s by transaction automaton (isOpOfTransaction) and
+// collects the per-object write sequences, in one pass.
+func projections(st *SystemType, s Schedule) (map[tree.TID]Schedule, map[string]Schedule) {
+	byTx := make(map[tree.TID]Schedule)
+	byObj := make(map[string]Schedule)
+	for _, e := range s {
+		switch e.Kind {
+		case Create, RequestCommit:
+			byTx[e.T] = append(byTx[e.T], e)
+			if e.Kind == RequestCommit {
+				if a, ok := st.accesses[e.T]; ok && !a.Op.ReadOnly() {
+					byObj[a.Object] = append(byObj[a.Object], e)
+				}
+			}
+		case RequestCreate, ReportCommit, ReportAbort:
+			p := e.T.Parent()
+			byTx[p] = append(byTx[p], e)
+		}
+	}
+	return byTx, byObj
 }
 
 func sameMultiset(s, u Schedule) bool {

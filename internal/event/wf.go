@@ -2,6 +2,7 @@ package event
 
 import (
 	"fmt"
+	"sort"
 
 	"nestedtx/internal/tree"
 )
@@ -208,14 +209,18 @@ func WFLockObject(s Schedule, st *SystemType, x string) error {
 // projection at every transaction and basic object is well-formed (§3.4).
 // Only transactions and objects with events in s are checked (projections
 // at untouched components are empty, hence trivially well-formed).
+//
+// Both WF checks compute every projection in one grouping pass over s
+// rather than filtering once per component — the checks run on every
+// serial candidate the S9 checker builds, so the (components × events)
+// form was a dominant cost on large histories.
 func WFSerial(s Schedule, st *SystemType) error {
-	for _, t := range transactionsIn(s, st) {
-		if err := WFTransaction(s.AtTransaction(t), t); err != nil {
-			return err
-		}
+	if err := wfTransactions(s, st); err != nil {
+		return err
 	}
-	for _, x := range st.Objects() {
-		if err := WFObject(s.AtObject(st, x), st, x); err != nil {
+	groups, names := groupAtObjects(s, st, false)
+	for _, x := range names {
+		if err := WFObject(groups[x], st, x); err != nil {
 			return err
 		}
 	}
@@ -226,17 +231,70 @@ func WFSerial(s Schedule, st *SystemType) error {
 // well-formed: its projection at every transaction and R/W Locking object
 // is well-formed (§5.3).
 func WFConcurrent(s Schedule, st *SystemType) error {
-	for _, t := range transactionsIn(s, st) {
-		if err := WFTransaction(s.AtTransaction(t), t); err != nil {
-			return err
-		}
+	if err := wfTransactions(s, st); err != nil {
+		return err
 	}
-	for _, x := range st.Objects() {
-		if err := WFLockObject(s.AtLockObject(st, x), st, x); err != nil {
+	groups, names := groupAtObjects(s, st, true)
+	for _, x := range names {
+		if err := WFLockObject(groups[x], st, x); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// wfTransactions checks WFTransaction for every non-access transaction
+// with operations in s, grouping the per-transaction projections in one
+// pass (groups[t] equals s.AtTransaction(t)).
+func wfTransactions(s Schedule, st *SystemType) error {
+	groups := make(map[tree.TID]Schedule)
+	for _, e := range s {
+		switch e.Kind {
+		case Create, RequestCommit:
+			groups[e.T] = append(groups[e.T], e)
+		case RequestCreate, ReportCommit, ReportAbort:
+			p := e.T.Parent()
+			groups[p] = append(groups[p], e)
+		}
+	}
+	for _, t := range transactionsIn(s, st) {
+		if err := WFTransaction(groups[t], t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// groupAtObjects groups s by object in one pass: with lock false each
+// group equals s.AtObject(st, x), with lock true s.AtLockObject(st, x).
+// names lists every touched object (including objects touched only by
+// INFORM events, whose basic projection is empty), sorted.
+func groupAtObjects(s Schedule, st *SystemType, lock bool) (map[string]Schedule, []string) {
+	groups := make(map[string]Schedule)
+	seen := make(map[string]struct{})
+	var names []string
+	note := func(x string) {
+		if _, dup := seen[x]; !dup {
+			seen[x] = struct{}{}
+			names = append(names, x)
+		}
+	}
+	for _, e := range s {
+		switch e.Kind {
+		case Create, RequestCommit:
+			if a, ok := st.accesses[e.T]; ok {
+				note(a.Object)
+				groups[a.Object] = append(groups[a.Object], e)
+			}
+		case InformCommitAt, InformAbortAt:
+			note(e.Object)
+			if lock {
+				groups[e.Object] = append(groups[e.Object], e)
+			}
+		}
+	}
+	sort.Strings(names)
+	return groups, names
 }
 
 // transactionsIn returns the non-access transactions that have operations

@@ -30,6 +30,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"nestedtx/internal/dst/clock"
 )
 
 // Faults scripts the failure behaviour applied to each proxied
@@ -58,6 +60,7 @@ type Faults struct {
 type Proxy struct {
 	target string
 	faults Faults
+	clk    clock.Clock
 	ln     net.Listener
 	done   chan struct{} // closed by Close; interrupts sleeps
 
@@ -76,6 +79,14 @@ type Proxy struct {
 // jitter randomness is derived from seed, so a failure schedule replays
 // identically across runs.
 func New(target string, faults Faults, seed int64) (*Proxy, error) {
+	return NewWithClock(target, faults, seed, nil)
+}
+
+// NewWithClock is New with an injected time source for the proxy's fault
+// delays (latency, jitter, stalls). nil means the wall clock; the
+// deterministic simulator passes its virtual clock so injected latency
+// is event-queue time.
+func NewWithClock(target string, faults Faults, seed int64, clk clock.Clock) (*Proxy, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("faultnet: listen: %w", err)
@@ -83,6 +94,7 @@ func New(target string, faults Faults, seed int64) (*Proxy, error) {
 	p := &Proxy{
 		target: target,
 		faults: faults,
+		clk:    clock.Or(clk),
 		ln:     ln,
 		done:   make(chan struct{}),
 		rng:    rand.New(rand.NewSource(seed)),
@@ -177,15 +189,15 @@ func (p *Proxy) jitter() time.Duration {
 	return time.Duration(p.rng.Int63n(int64(p.faults.Jitter)))
 }
 
-// sleep waits for d, cut short if the proxy closes.
+// sleep waits for d on the proxy clock, cut short if the proxy closes.
 func (p *Proxy) sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	t := time.NewTimer(d)
+	t := p.clk.NewTimer(d)
 	defer t.Stop()
 	select {
-	case <-t.C:
+	case <-t.C():
 	case <-p.done:
 	}
 }

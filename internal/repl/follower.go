@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"nestedtx/internal/adt"
+	"nestedtx/internal/dst/clock"
 	"nestedtx/internal/obs"
 	"nestedtx/internal/snap"
 	"nestedtx/internal/wal"
@@ -39,6 +40,7 @@ type Follower struct {
 	opts wal.Options
 	log  *wal.Log
 	met  *obs.Metrics
+	clk  clock.Clock // reconnect-backoff time source (wal.Options.Clock)
 
 	mu            sync.Mutex
 	states        map[string]adt.State
@@ -75,6 +77,7 @@ func OpenFollower(dir string, opts wal.Options) (*Follower, error) {
 		opts:     opts,
 		log:      lg,
 		met:      opts.Metrics,
+		clk:      clock.Or(opts.Clock),
 		states:   states,
 		snap:     sn,
 		progress: time.Now(),
@@ -114,7 +117,7 @@ func (f *Follower) Run(leader string) error {
 		select {
 		case <-f.stop:
 			return nil
-		case <-time.After(backoff(attempt)):
+		case <-f.clk.After(backoff(attempt)):
 		}
 	}
 }

@@ -247,7 +247,7 @@ func (s *Scheduler) Step(e event.Event) error {
 func Validate(sched event.Schedule, st *event.SystemType) error {
 	sc := NewScheduler()
 	objs := make(map[string]*object.Basic)
-	for _, x := range st.Objects() {
+	for _, x := range sched.TouchedObjects(st) {
 		b, err := object.New(st, x)
 		if err != nil {
 			return err

@@ -127,7 +127,7 @@ func mvtoLeaf(tx *mvto.Tx, w *Workload, rng *rand.Rand, mode accessMode, ops *in
 			return err
 		}
 		atomic.AddInt64(ops, 1)
-		think(w.ThinkNs)
+		w.think()
 	}
 	return nil
 }

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"nestedtx"
+	"nestedtx/internal/dst/clock"
 )
 
 // Workload parameterises one experiment run.
@@ -84,7 +85,17 @@ type Workload struct {
 	// LockShards sets the lock-manager shard count; 0 falls back to
 	// DefaultLockShards, then to the manager default (GOMAXPROCS).
 	LockShards int
+	// Clock is the time source for every sleep the workload performs —
+	// think time and deadlock-retry backoff — and is passed through to
+	// the manager's own retry backoffs. nil means the wall clock; the
+	// deterministic simulator injects a virtual clock so identical seeds
+	// produce identical schedules regardless of wall-clock scheduling.
+	Clock clock.Clock `json:"-"`
 }
+
+// clock returns the workload's time source, defaulting to the wall
+// clock.
+func (w *Workload) clock() clock.Clock { return clock.Or(w.Clock) }
 
 // DefaultLockShards, when non-zero, applies to every workload whose
 // LockShards is unset — the txsim -shards flag sets it so one invocation
@@ -195,6 +206,9 @@ func Run(w Workload) (Result, error) {
 	if shards > 0 {
 		opts = append(opts, nestedtx.WithLockShards(shards))
 	}
+	if w.Clock != nil {
+		opts = append(opts, nestedtx.WithClock(w.Clock))
+	}
 	m := nestedtx.NewManager(opts...)
 	for i := 0; i < w.Objects; i++ {
 		if err := m.Register(objName(i), nestedtx.Counter{}); err != nil {
@@ -234,6 +248,14 @@ func Run(w Workload) (Result, error) {
 	close(jobs)
 	wg.Wait()
 	dur := time.Since(start)
+
+	// Every run ends with the lock-table invariant check: a workload that
+	// leaves residual locks or a corrupted table is a checker failure, not
+	// a measurement. (Full S9 history verification needs WithRecording and
+	// stays opt-in — see the test suite and the dst simulator.)
+	if err := m.CheckInvariants(); err != nil {
+		return Result{}, fmt.Errorf("sim: post-run lock-table invariants: %w", err)
+	}
 
 	return Result{
 		Workload:  w,
@@ -275,7 +297,11 @@ func runOne(m *nestedtx.Manager, w *Workload, rng *rand.Rand, ops, retried *int6
 		if shift > 6 {
 			shift = 6
 		}
-		time.Sleep(time.Duration(rng.Int63n(int64(100<<shift))) * time.Microsecond)
+		// Route through the workload clock: under a wall clock this is
+		// the old jittered backoff; under the simulator's virtual clock
+		// the delay is event-queue time, so a "seeded" run no longer
+		// depends on wall-clock scheduling.
+		w.clock().Sleep(time.Duration(rng.Int63n(int64(100<<shift))) * time.Microsecond)
 	}
 	return err
 }
@@ -290,7 +316,7 @@ func snapshotScan(m *nestedtx.Manager, w *Workload, rng *rand.Rand, ops *int64) 
 				return err
 			}
 			atomic.AddInt64(ops, 1)
-			think(w.ThinkNs)
+			w.think()
 		}
 		return nil
 	})
@@ -382,7 +408,7 @@ func leaf(tx *nestedtx.Tx, w *Workload, rng *rand.Rand, mode accessMode, ops *in
 			return err
 		}
 		atomic.AddInt64(ops, 1)
-		think(w.ThinkNs)
+		w.think()
 	}
 	return nil
 }
@@ -396,10 +422,12 @@ func pickObject(w *Workload, rng *rand.Rand) int {
 
 func objName(i int) string { return fmt.Sprintf("obj%d", i) }
 
-// think models per-access latency while holding locks.
-func think(ns int) {
-	if ns <= 0 {
+// think models per-access latency while holding locks. It sleeps on the
+// workload clock, so simulated runs spend event-queue time, not wall
+// time.
+func (w *Workload) think() {
+	if w.ThinkNs <= 0 {
 		return
 	}
-	time.Sleep(time.Duration(ns))
+	w.clock().Sleep(time.Duration(w.ThinkNs))
 }

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"nestedtx/internal/dst/clock"
 )
 
 // File is the slice of *os.File the log needs. The indirection exists so
@@ -266,6 +268,7 @@ type FaultFS struct {
 	failClosed bool
 	syncHook   func()        // runs at the start of every file Sync
 	syncDelay  time.Duration // added to every file Sync, after the underlying sync
+	clk        clock.Clock   // time source for syncDelay; nil = wall clock
 }
 
 // ErrInjected is returned by FaultFS operations past the crash point in
@@ -311,6 +314,15 @@ func (fs *FaultFS) SetSyncHook(fn func()) {
 func (fs *FaultFS) SetSyncDelay(d time.Duration) {
 	fs.mu.Lock()
 	fs.syncDelay = d
+	fs.mu.Unlock()
+}
+
+// SetClock injects the time source the injected sync delay sleeps on
+// (nil = wall clock). The simulator sets its virtual clock so a modeled
+// slow disk costs event-queue time, not wall time.
+func (fs *FaultFS) SetClock(c clock.Clock) {
+	fs.mu.Lock()
+	fs.clk = c
 	fs.mu.Unlock()
 }
 
@@ -386,6 +398,7 @@ func (f *faultFile) Sync() error {
 	f.fs.mu.Lock()
 	hook := f.fs.syncHook
 	delay := f.fs.syncDelay
+	clk := f.fs.clk
 	f.fs.mu.Unlock()
 	if hook != nil {
 		hook()
@@ -395,7 +408,7 @@ func (f *faultFile) Sync() error {
 	}
 	err := f.f.Sync()
 	if delay > 0 {
-		time.Sleep(delay)
+		clock.Or(clk).Sleep(delay)
 	}
 	return err
 }

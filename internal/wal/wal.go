@@ -49,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nestedtx/internal/dst/clock"
 	"nestedtx/internal/obs"
 )
 
@@ -69,6 +70,11 @@ type Options struct {
 	// Metrics, when non-nil, receives fsync latencies, append/fsync/
 	// checkpoint counts and the batching high-water mark.
 	Metrics *obs.Metrics
+	// Clock is the time source for the group-commit machinery (the sync
+	// window wait and the batch-gather budget). nil means the wall
+	// clock; the deterministic simulator injects its virtual clock so a
+	// seeded run's batching schedule is event-queue time.
+	Clock clock.Clock
 }
 
 const defaultSegmentBytes = 4 << 20
@@ -85,6 +91,7 @@ type Log struct {
 	dir string
 	fs  FS
 	met *obs.Metrics
+	clk clock.Clock
 
 	window   time.Duration
 	segLimit int64
@@ -180,6 +187,7 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 		dir:      dir,
 		fs:       fs,
 		met:      opts.Metrics,
+		clk:      clock.Or(opts.Clock),
 		window:   opts.SyncWindow,
 		segLimit: opts.SegmentBytes,
 		writeSeq: rec.NextLSN,
@@ -469,14 +477,15 @@ func (l *Log) syncer() {
 	}
 }
 
-// waitWindow sleeps the group-commit window (interruptible by stop).
+// waitWindow sleeps the group-commit window on the log's clock
+// (interruptible by stop).
 func (l *Log) waitWindow() {
 	if l.window <= 0 {
 		return
 	}
-	t := time.NewTimer(l.window)
+	t := l.clk.NewTimer(l.window)
 	select {
-	case <-t.C:
+	case <-t.C():
 	case <-l.stop:
 		t.Stop()
 	}
@@ -556,7 +565,7 @@ func (l *Log) gatherBatch() {
 	if budget > 200*time.Microsecond {
 		budget = 200 * time.Microsecond
 	}
-	deadline := time.Now().Add(budget)
+	deadline := l.clk.Now().Add(budget)
 	full := l.lastBatch.Load()
 	prev := -1
 	for {
@@ -564,7 +573,7 @@ func (l *Log) gatherBatch() {
 		l.mu.Lock()
 		n := len(l.waiters)
 		l.mu.Unlock()
-		if int64(n) >= full || n == prev || budget <= 0 || time.Now().After(deadline) {
+		if int64(n) >= full || n == prev || budget <= 0 || l.clk.Now().After(deadline) {
 			return
 		}
 		prev = n

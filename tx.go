@@ -166,7 +166,7 @@ func (tx *Tx) SubRetry(attempts int, fn func(*Tx) error) error {
 		if !errors.Is(err, ErrDeadlock) {
 			return err
 		}
-		backoff(i)
+		tx.mgr.clk.Sleep(backoffDur(i))
 	}
 	return err
 }
@@ -179,12 +179,6 @@ func clampAttempts(attempts int) int {
 		return 1
 	}
 	return attempts
-}
-
-// backoff sleeps a jittered, exponentially growing interval after the
-// attempt'th deadlock, so competing victims restart out of phase.
-func backoff(attempt int) {
-	time.Sleep(backoffDur(attempt))
 }
 
 // backoffDur returns the jittered backoff interval after the attempt'th
